@@ -1,0 +1,45 @@
+"""Benchmark: raw simulator throughput (not a paper figure).
+
+Times the simulation of one apache trace under the three kinds of
+controller, so performance regressions in the engine itself are visible
+independently of the figure harness.
+"""
+
+import pytest
+
+from repro.config import ConsistencyModel, SpeculationConfig, SpeculationMode, paper_config
+from repro.engine.simulator import simulate
+from repro.workloads.registry import build_trace
+
+_CORES = 4
+_OPS = 2000
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return build_trace("apache", num_threads=_CORES, ops_per_thread=_OPS, seed=3)
+
+
+def _config(mode: SpeculationMode):
+    if mode is SpeculationMode.NONE:
+        spec = SpeculationConfig()
+    elif mode is SpeculationMode.CONTINUOUS:
+        spec = SpeculationConfig(mode=mode, num_checkpoints=2)
+    else:
+        spec = SpeculationConfig(mode=mode)
+    return paper_config(ConsistencyModel.SC, spec, num_cores=_CORES)
+
+
+def test_conventional_sc_throughput(benchmark, trace):
+    result = benchmark(simulate, _config(SpeculationMode.NONE), trace)
+    assert result.runtime > 0
+
+
+def test_invisifence_selective_throughput(benchmark, trace):
+    result = benchmark(simulate, _config(SpeculationMode.SELECTIVE), trace)
+    assert result.runtime > 0
+
+
+def test_invisifence_continuous_throughput(benchmark, trace):
+    result = benchmark(simulate, _config(SpeculationMode.CONTINUOUS), trace)
+    assert result.runtime > 0

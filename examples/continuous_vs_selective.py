@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Continuous versus selective speculation, and the commit-on-violate policy.
+
+Reproduces the Section 6.5/6.6 study (Figure 12) on one workload: continuous
+speculation decouples consistency enforcement from the core but spends far
+more time vulnerable to violations; the commit-on-violate policy defers the
+conflicting request long enough to commit, recovering most of the lost
+cycles.
+
+Run with::
+
+    python examples/continuous_vs_selective.py [workload]
+"""
+
+import sys
+
+from repro import (
+    ConsistencyModel,
+    SpeculationConfig,
+    SpeculationMode,
+    ViolationPolicy,
+    build_trace,
+    paper_config,
+    simulate,
+)
+from repro.stats import format_table
+
+NUM_CORES = 8
+OPS_PER_THREAD = 4000
+
+
+def build_configs():
+    return {
+        "sc (conventional)": paper_config(ConsistencyModel.SC, num_cores=NUM_CORES),
+        "rmo (conventional)": paper_config(ConsistencyModel.RMO, num_cores=NUM_CORES),
+        "invisi selective (rmo)": paper_config(
+            ConsistencyModel.RMO,
+            SpeculationConfig(mode=SpeculationMode.SELECTIVE),
+            num_cores=NUM_CORES),
+        "invisi continuous (abort)": paper_config(
+            ConsistencyModel.SC,
+            SpeculationConfig(mode=SpeculationMode.CONTINUOUS, num_checkpoints=2),
+            num_cores=NUM_CORES),
+        "invisi continuous (CoV)": paper_config(
+            ConsistencyModel.SC,
+            SpeculationConfig(mode=SpeculationMode.CONTINUOUS, num_checkpoints=2,
+                              violation_policy=ViolationPolicy.COMMIT_ON_VIOLATE),
+            num_cores=NUM_CORES),
+    }
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "apache"
+    trace = build_trace(workload, num_threads=NUM_CORES,
+                        ops_per_thread=OPS_PER_THREAD, seed=13)
+    print(f"workload: {workload}, {NUM_CORES} cores, "
+          f"{trace.total_ops()} operations")
+
+    results = {name: simulate(config, trace, warmup_fraction=0.2)
+               for name, config in build_configs().items()}
+    baseline = results["sc (conventional)"]
+
+    rows = []
+    for name, result in results.items():
+        stats = result.aggregate()
+        accounted = max(1, stats.total_accounted())
+        rows.append([
+            name,
+            f"{result.speedup_over(baseline):.2f}x",
+            f"{100 * result.speculation_fraction():.0f}%",
+            stats.speculations,
+            stats.aborts,
+            stats.cov_commits,
+            f"{100 * stats.violation / accounted:.1f}%",
+        ])
+    print()
+    print(format_table(
+        ["configuration", "speedup vs SC", "time speculating", "episodes",
+         "aborts", "CoV commits", "violation cycles"],
+        rows, title="Continuous vs selective speculation"))
+
+    print()
+    print("Continuous speculation keeps every instruction inside a speculative "
+          "chunk (close to 100% of cycles), so it aborts far more often than "
+          "selective speculation.  Deferring the conflicting request "
+          "(commit-on-violate) converts most of those aborts into commits.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""A hand-built lock hand-off scenario: violations made visible.
+
+Instead of a generated workload, this example builds an explicit four-core
+trace in which every core repeatedly acquires the same spinlock, update a
+shared counter protected by it, and release the lock.  It then shows, step
+by step, what each design does with the resulting coherence traffic:
+
+* conventional RMO stalls at every acquire fence and atomic miss,
+* InvisiFence-Selective speculates past them and occasionally rolls back
+  when the other core's acquire invalidates a speculatively accessed block,
+* the commit-on-violate policy defers that invalidation instead.
+
+This is also a template for writing custom traces against the public API.
+
+Run with::
+
+    python examples/lock_contention.py
+"""
+
+from repro import (
+    ConsistencyModel,
+    SpeculationConfig,
+    SpeculationMode,
+    Trace,
+    MultiThreadedTrace,
+    ViolationPolicy,
+    atomic,
+    compute,
+    fence,
+    load,
+    paper_config,
+    simulate,
+    store,
+)
+from repro.stats import format_table
+
+LOCK = 0x10000          # the spinlock word
+COUNTER = 0x20000       # shared data protected by the lock
+PRIVATE_BASE = 0x100000
+
+CRITICAL_SECTIONS = 60
+THINK_TIME = 40
+
+
+def critical_section(core_id: int, iteration: int):
+    """One acquire / update / release round plus private 'think' work.
+
+    The think time varies per core and per iteration so the two cores drift
+    in and out of phase; perfectly regular rounds would settle into a
+    lock-step pattern in which acquires always land just after the other
+    core committed, hiding the violations this example wants to show.
+    """
+    private = PRIVATE_BASE + core_id * 0x100000 + iteration * 64
+    think = THINK_TIME + (core_id * 131 + iteration * 37) % 150
+    return [
+        atomic(LOCK, label="lock_acquire"),
+        fence(label="acquire_fence"),
+        load(COUNTER, label="critical_read"),
+        store(COUNTER, label="critical_write"),
+        store(LOCK, label="lock_release"),
+        load(private, label="private"),
+        store(private, label="private"),
+        compute(think),
+    ]
+
+
+def build_trace(num_cores: int = 4) -> MultiThreadedTrace:
+    traces = []
+    for core_id in range(num_cores):
+        ops = []
+        # Stagger the cores slightly so acquires interleave.
+        ops.append(compute(1 + 17 * core_id))
+        for i in range(CRITICAL_SECTIONS):
+            ops.extend(critical_section(core_id, i))
+        traces.append(Trace(ops, thread_id=core_id))
+    return MultiThreadedTrace(traces, name="lock-contention")
+
+
+def main() -> None:
+    trace = build_trace()
+    configs = {
+        "rmo (conventional)": paper_config(ConsistencyModel.RMO, num_cores=4),
+        "invisi_rmo (abort)": paper_config(
+            ConsistencyModel.RMO, SpeculationConfig(mode=SpeculationMode.SELECTIVE),
+            num_cores=4),
+        "invisi_rmo (commit-on-violate)": paper_config(
+            ConsistencyModel.RMO,
+            SpeculationConfig(mode=SpeculationMode.SELECTIVE,
+                              violation_policy=ViolationPolicy.COMMIT_ON_VIOLATE),
+            num_cores=4),
+    }
+
+    results = {name: simulate(config, trace) for name, config in configs.items()}
+    baseline = results["rmo (conventional)"]
+
+    rows = []
+    for name, result in results.items():
+        stats = result.aggregate()
+        rows.append([
+            name,
+            round(result.cycles_per_core()),
+            f"{result.speedup_over(baseline):.2f}x",
+            stats.sb_drain,
+            stats.speculations,
+            stats.aborts,
+            stats.cov_commits,
+            stats.violation,
+        ])
+    print(format_table(
+        ["configuration", "cycles/core", "speedup", "SB-drain cycles",
+         "episodes", "aborts", "CoV commits", "violation cycles"],
+        rows, title=f"Four cores contending on one lock "
+                    f"({CRITICAL_SECTIONS} critical sections each)"))
+
+    print()
+    print("Conventional RMO pays a store-buffer drain at every acquire fence "
+          "and a full miss latency whenever the lock or counter was last "
+          "written by the other core.  InvisiFence hides those stalls; the "
+          "contended lock block occasionally triggers a violation, which the "
+          "commit-on-violate policy resolves without discarding work.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Quickstart: run one workload under conventional SC and under InvisiFence.
+
+This is the smallest end-to-end use of the library's public API:
+
+1. generate a synthetic multithreaded workload trace,
+2. simulate it on a conventional sequentially consistent multiprocessor,
+3. simulate the same trace with InvisiFence-Selective enforcing SC,
+4. compare runtime breakdowns and report the speedup.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    ConsistencyModel,
+    SpeculationConfig,
+    SpeculationMode,
+    build_trace,
+    paper_config,
+    simulate,
+)
+from repro.stats import format_table
+
+NUM_CORES = 8
+OPS_PER_THREAD = 4000
+
+
+def main() -> None:
+    # 1. A web-server-like workload (frequent locking, bursty stores).
+    trace = build_trace("apache", num_threads=NUM_CORES,
+                        ops_per_thread=OPS_PER_THREAD, seed=42)
+    print(f"workload: {trace.name}, {trace.num_threads} threads, "
+          f"{trace.total_ops()} operations")
+
+    # 2. Conventional SC baseline (Figure 6 machine parameters).
+    sc_config = paper_config(ConsistencyModel.SC, num_cores=NUM_CORES)
+    sc = simulate(sc_config, trace, warmup_fraction=0.2)
+
+    # 3. The same machine with InvisiFence-Selective enforcing SC.
+    invisi_config = paper_config(
+        ConsistencyModel.SC,
+        SpeculationConfig(mode=SpeculationMode.SELECTIVE),
+        num_cores=NUM_CORES,
+    )
+    invisi = simulate(invisi_config, trace, warmup_fraction=0.2)
+
+    # 4. Compare.
+    rows = []
+    for name, result in (("conventional SC", sc), ("InvisiFence (SC)", invisi)):
+        breakdown = result.breakdown(normalize=True)
+        rows.append([
+            name,
+            round(result.cycles_per_core()),
+            f"{100 * breakdown['busy']:.1f}%",
+            f"{100 * breakdown['other']:.1f}%",
+            f"{100 * (breakdown['sb_full'] + breakdown['sb_drain']):.1f}%",
+            f"{100 * breakdown['violation']:.1f}%",
+        ])
+    print()
+    print(format_table(
+        ["configuration", "cycles/core", "busy", "other", "ordering stalls",
+         "violation"],
+        rows, title="Runtime breakdown"))
+
+    speculative = invisi.aggregate()
+    print()
+    print(f"speedup of InvisiFence over conventional SC: "
+          f"{invisi.speedup_over(sc):.2f}x")
+    print(f"speculation episodes: {speculative.speculations}, "
+          f"commits: {speculative.commits}, aborts: {speculative.aborts}")
+    print(f"fraction of cycles spent speculating: "
+          f"{100 * invisi.speculation_fraction():.1f}%")
+
+
+if __name__ == "__main__":
+    main()

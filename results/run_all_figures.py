@@ -1,0 +1,44 @@
+"""Run every figure experiment and write the formatted tables to disk.
+
+This is the script used to produce results/full_run.txt (the numbers quoted
+in EXPERIMENTS.md).  Scale is controlled by the constants below.
+"""
+import sys, time
+from repro.experiments import (ExperimentSettings, ExperimentRunner, run_figure1,
+                               run_figure8, run_figure9, run_figure10, run_figure11,
+                               run_figure12, figure2_table, figure4_table,
+                               figure5_table, figure6_table, figure7_table)
+
+NUM_CORES = 16
+OPS_PER_THREAD = 6000
+SEEDS = (1,)
+
+def main(out_path):
+    settings = ExperimentSettings(num_cores=NUM_CORES, ops_per_thread=OPS_PER_THREAD,
+                                  seeds=SEEDS)
+    runner = ExperimentRunner(settings)
+    sections = []
+    start = time.time()
+    for name, fn in [("figure1", run_figure1), ("figure8", run_figure8),
+                     ("figure9", run_figure9), ("figure10", run_figure10),
+                     ("figure11", run_figure11), ("figure12", run_figure12)]:
+        t0 = time.time()
+        result = fn(settings, runner)
+        sections.append(result.format())
+        print(f"{name} done in {time.time()-t0:.0f}s", flush=True)
+    fig10 = run_figure10(settings, runner)
+    sections.append(figure2_table())
+    sections.append(figure4_table(fig10))
+    sections.append(figure5_table())
+    sections.append(figure6_table())
+    sections.append(figure7_table())
+    text = ("InvisiFence reproduction -- full experiment run\n"
+            f"cores={NUM_CORES} ops/thread={OPS_PER_THREAD} seeds={SEEDS} "
+            f"warmup={settings.warmup_fraction}\n\n"
+            + "\n\n".join(sections) + "\n")
+    with open(out_path, "w") as handle:
+        handle.write(text)
+    print(f"total {time.time()-start:.0f}s -> {out_path}")
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "results/full_run.txt")

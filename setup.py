@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
+offline environments whose setuptools predates native wheel support
+(the legacy ``setup.py develop`` code path needs this file).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,99 @@
+"""InvisiFence reproduction: performance-transparent memory ordering.
+
+This package reproduces *InvisiFence: Performance-Transparent Memory
+Ordering in Conventional Multiprocessors* (Blundell, Martin, Wenisch,
+ISCA 2009) as a trace-driven multiprocessor timing simulator plus the
+workloads, baselines, and experiment drivers needed to regenerate every
+figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import (ConsistencyModel, SpeculationConfig, SpeculationMode,
+                       build_trace, simulate, small_config)
+
+    trace = build_trace("apache", num_threads=4, ops_per_thread=4000, seed=1)
+    baseline = simulate(small_config(ConsistencyModel.SC), trace)
+    invisi = simulate(
+        small_config(ConsistencyModel.SC,
+                     SpeculationConfig(mode=SpeculationMode.SELECTIVE)),
+        trace)
+    print("speedup:", invisi.speedup_over(baseline))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured comparison of every figure.
+"""
+
+from .config import (
+    CacheConfig,
+    ConsistencyModel,
+    InterconnectConfig,
+    SpeculationConfig,
+    SpeculationMode,
+    StoreBufferConfig,
+    StoreBufferKind,
+    SystemConfig,
+    ViolationPolicy,
+    paper_config,
+    small_config,
+)
+from .engine import RunResult, Simulator, build_system, simulate
+from .errors import (
+    CoherenceError,
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+    SpeculationError,
+    StoreBufferError,
+    TraceError,
+    WorkloadError,
+)
+from .trace import MemOp, MultiThreadedTrace, OpKind, Trace, atomic, compute, fence, load, store
+from .workloads import WORKLOAD_PRESETS, WorkloadSpec, build_trace, preset, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # configuration
+    "SystemConfig",
+    "CacheConfig",
+    "StoreBufferConfig",
+    "StoreBufferKind",
+    "InterconnectConfig",
+    "SpeculationConfig",
+    "SpeculationMode",
+    "ViolationPolicy",
+    "ConsistencyModel",
+    "paper_config",
+    "small_config",
+    # engine
+    "RunResult",
+    "Simulator",
+    "build_system",
+    "simulate",
+    # traces
+    "MemOp",
+    "OpKind",
+    "Trace",
+    "MultiThreadedTrace",
+    "load",
+    "store",
+    "atomic",
+    "fence",
+    "compute",
+    # workloads
+    "WorkloadSpec",
+    "WORKLOAD_PRESETS",
+    "build_trace",
+    "preset",
+    "workload_names",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "TraceError",
+    "SimulationError",
+    "CoherenceError",
+    "StoreBufferError",
+    "SpeculationError",
+    "WorkloadError",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Atomic Sequence Ordering (ASO) baseline (Wenisch et al., ISCA 2007).
+
+ASO is the closest prior proposal in the speculative-retirement lineage and
+the paper's experimental comparison point (Section 6.4, Figure 11).  Like
+InvisiFence-Selective it speculates only on would-be ordering stalls, but
+it differs in three modelled respects:
+
+* speculative stores are held per-store in a large FIFO **Scalable Store
+  Buffer** (SSB) rather than per-block in a small coalescing buffer,
+* commit drains the SSB into the L2 (a latency proportional to the number
+  of buffered stores) instead of a constant-time flash clear, and
+* checkpoints are taken periodically during speculation, so a violation
+  discards only the work since the last checkpoint covering the
+  conflicting access.
+"""
+
+from .ssb import ScalableStoreBuffer
+from .controller import ASOController
+
+__all__ = ["ScalableStoreBuffer", "ASOController"]

@@ -1,0 +1,146 @@
+"""Command-line interface.
+
+Three subcommands cover the common entry points without writing any code::
+
+    python -m repro simulate --workload apache --config invisi_sc --cores 8
+    python -m repro figure 8 --cores 8 --ops 4000
+    python -m repro tables
+
+``simulate`` runs one workload under one named machine configuration and
+prints the runtime breakdown; ``figure`` regenerates one of the paper's
+evaluation figures (1, 8, 9, 10, 11, 12) at the requested scale; ``tables``
+prints the descriptive tables (Figures 2, 4, 5, 6, 7).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments import (
+    CONFIG_NAMES,
+    ExperimentRunner,
+    ExperimentSettings,
+    figure2_table,
+    figure4_table,
+    figure5_table,
+    figure6_table,
+    figure7_table,
+    make_config,
+    run_figure1,
+    run_figure8,
+    run_figure9,
+    run_figure10,
+    run_figure11,
+    run_figure12,
+)
+from .engine.simulator import simulate
+from .stats.report import format_table
+from .workloads.presets import workload_names
+from .workloads.registry import build_trace
+
+_FIGURES = {
+    "1": run_figure1,
+    "8": run_figure8,
+    "9": run_figure9,
+    "10": run_figure10,
+    "11": run_figure11,
+    "12": run_figure12,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="InvisiFence (ISCA 2009) reproduction: simulate workloads "
+                    "and regenerate the paper's figures.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run one workload under one configuration")
+    sim.add_argument("--workload", choices=workload_names(), default="apache")
+    sim.add_argument("--config", choices=list(CONFIG_NAMES), default="invisi_sc")
+    sim.add_argument("--baseline", choices=list(CONFIG_NAMES), default="sc",
+                     help="configuration to report a speedup against")
+    sim.add_argument("--cores", type=int, default=8)
+    sim.add_argument("--ops", type=int, default=4000, help="operations per thread")
+    sim.add_argument("--seed", type=int, default=1)
+    sim.add_argument("--warmup", type=float, default=0.2)
+
+    fig = sub.add_parser("figure", help="regenerate one of the paper's figures")
+    fig.add_argument("number", choices=sorted(_FIGURES), help="figure number")
+    fig.add_argument("--cores", type=int, default=8)
+    fig.add_argument("--ops", type=int, default=4000)
+    fig.add_argument("--seeds", type=str, default="1",
+                     help="comma-separated generator seeds")
+    fig.add_argument("--workloads", type=str, default=",".join(workload_names()),
+                     help="comma-separated workload names")
+
+    sub.add_parser("tables", help="print the descriptive tables (Figures 2, 4-7)")
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    settings = ExperimentSettings(num_cores=args.cores, ops_per_thread=args.ops,
+                                  seeds=(args.seed,),
+                                  warmup_fraction=args.warmup)
+    trace = build_trace(args.workload, num_threads=args.cores,
+                        ops_per_thread=args.ops, seed=args.seed)
+    result = simulate(make_config(args.config, settings), trace,
+                      warmup_fraction=args.warmup)
+    baseline = simulate(make_config(args.baseline, settings), trace,
+                        warmup_fraction=args.warmup)
+    breakdown = result.breakdown(normalize=True)
+    stats = result.aggregate()
+    rows = [
+        ["workload", args.workload],
+        ["configuration", args.config],
+        ["cycles per core", f"{result.cycles_per_core():.0f}"],
+        [f"speedup vs {args.baseline}", f"{result.speedup_over(baseline):.2f}x"],
+        ["busy", f"{100 * breakdown['busy']:.1f}%"],
+        ["other (plain misses)", f"{100 * breakdown['other']:.1f}%"],
+        ["SB full", f"{100 * breakdown['sb_full']:.1f}%"],
+        ["SB drain", f"{100 * breakdown['sb_drain']:.1f}%"],
+        ["violation", f"{100 * breakdown['violation']:.1f}%"],
+        ["speculation episodes", str(stats.speculations)],
+        ["commits / aborts", f"{stats.commits} / {stats.aborts}"],
+        ["time speculating", f"{100 * result.speculation_fraction():.1f}%"],
+    ]
+    print(format_table(["metric", "value"], rows,
+                       title="InvisiFence reproduction: simulation summary"))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    seeds = tuple(int(s) for s in args.seeds.split(",") if s)
+    workloads = tuple(w for w in args.workloads.split(",") if w)
+    settings = ExperimentSettings(num_cores=args.cores, ops_per_thread=args.ops,
+                                  seeds=seeds, workloads=workloads)
+    runner = ExperimentRunner(settings)
+    result = _FIGURES[args.number](settings, runner)
+    print(result.format())
+    return 0
+
+
+def _cmd_tables(_: argparse.Namespace) -> int:
+    for text in (figure2_table(), figure4_table(), figure5_table(),
+                 figure6_table(), figure7_table()):
+        print(text)
+        print()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "tables":
+        return _cmd_tables(args)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Shared L2 cache tag array.
+
+The L2 is used purely as a latency filter: a directory transaction that
+finds its data in the L2 pays the L2 hit latency, otherwise it additionally
+pays the main-memory latency.  Dirty and clean writebacks from L1s install
+blocks in the L2, as do fills from memory.  Because the directory keeps
+coherence state independently, L2 evictions silently drop blocks without
+recalling L1 copies (a documented simplification).
+"""
+
+from __future__ import annotations
+
+from ..config import CacheConfig
+from ..memory.block import CoherenceState
+from ..memory.cache import CacheArray
+
+
+class L2Cache:
+    """A thin wrapper over :class:`CacheArray` for the shared L2."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self._tags = CacheArray(config)
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    @property
+    def config(self) -> CacheConfig:
+        return self._tags.config
+
+    def probe(self, block_addr: int) -> bool:
+        """Record and return whether ``block_addr`` hits in the L2."""
+        if self._tags.contains(block_addr):
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def contains(self, block_addr: int) -> bool:
+        return self._tags.contains(block_addr)
+
+    def install(self, block_addr: int) -> None:
+        """Install a block (fill from memory or writeback from an L1)."""
+        result = self._tags.prepare_fill(block_addr)
+        if result.victim is not None and result.needs_writeback:
+            # The victim's data goes back to memory; no latency is charged
+            # to the requester for this background operation.
+            self.writebacks += 1
+        self._tags.install(block_addr, CoherenceState.EXCLUSIVE, dirty=False)
+
+    def install_dirty(self, block_addr: int) -> None:
+        """Install a block received via an L1 writeback (data is newer)."""
+        result = self._tags.prepare_fill(block_addr)
+        if result.victim is not None and result.needs_writeback:
+            self.writebacks += 1
+        self._tags.install(block_addr, CoherenceState.MODIFIED, dirty=True)
+
+    def __len__(self) -> int:
+        return len(self._tags)

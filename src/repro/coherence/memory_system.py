@@ -1,0 +1,378 @@
+"""The coherent memory system.
+
+:class:`MemorySystem` ties together the per-core L1 tag arrays, the shared
+L2, the full-map directory, and the torus latency model.  It exposes a
+*synchronous* interface: an L1 access computes the complete latency of the
+corresponding coherence transaction, applies every global state change
+immediately, and returns the completion time to the caller.  Cross-core
+timing interactions are still honoured:
+
+* Transactions to the same block are serialised through the directory
+  entry's ``busy_until`` timestamp.
+* External requests that hit speculatively accessed blocks in another L1
+  are reported to that core's consistency controller (the
+  :class:`ExternalConflictListener`), which decides between aborting its
+  speculation and -- under commit-on-violate -- deferring the requester
+  while it tries to commit.  The deferral feeds back into the requester's
+  completion time.
+* A fill that would have to evict a speculatively accessed block first
+  forces that core to commit (Section 3.2 of the paper); the resulting
+  delay is charged to the requester as ``forced_commit_delay``.
+
+The memory system never buffers store *data*; the simulator is trace
+driven and only state and timing matter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol
+
+from ..config import SystemConfig
+from ..errors import SimulationError
+from ..interconnect.latency import LatencyModel
+from ..interconnect.topology import TorusTopology
+from ..memory.address import block_address
+from ..memory.block import CoherenceState
+from ..memory.cache import CacheArray
+from .directory import Directory
+from .l2 import L2Cache
+from .messages import AccessOutcome, ConflictResolution, TransactionKind, TransactionRecord
+
+
+class ExternalConflictListener(Protocol):
+    """Interface a consistency controller exposes to the memory system."""
+
+    def on_external_conflict(self, block_addr: int, is_write: bool,
+                             arrival_time: int) -> ConflictResolution:
+        """An external request conflicts with this core's speculation."""
+        ...  # pragma: no cover - protocol definition
+
+    def forced_commit(self, now: int) -> int:
+        """Commit speculation so a speculative block can be evicted.
+
+        Returns the time at which the commit completes (the eviction may
+        proceed at or after that time).
+        """
+        ...  # pragma: no cover - protocol definition
+
+
+class MemorySystem:
+    """Directory-coherent memory hierarchy shared by all cores."""
+
+    def __init__(self, config: SystemConfig, record_transactions: bool = False) -> None:
+        self._config = config
+        self._topology = TorusTopology(config.interconnect)
+        self._latency = LatencyModel(config, self._topology)
+        self._l1s: List[CacheArray] = [CacheArray(config.l1) for _ in range(config.num_cores)]
+        self._l2 = L2Cache(config.l2)
+        self._directory = Directory(config.block_bytes)
+        self._listeners: Dict[int, ExternalConflictListener] = {}
+        self._record = record_transactions
+        self.transactions: List[TransactionRecord] = []
+        # simple per-core counters
+        self.l1_hits = [0] * config.num_cores
+        self.l1_misses = [0] * config.num_cores
+        self.upgrades = [0] * config.num_cores
+        self.clean_writebacks = [0] * config.num_cores
+        self.conflicts_detected = 0
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def config(self) -> SystemConfig:
+        return self._config
+
+    @property
+    def topology(self) -> TorusTopology:
+        return self._topology
+
+    @property
+    def latency_model(self) -> LatencyModel:
+        return self._latency
+
+    @property
+    def l2(self) -> L2Cache:
+        return self._l2
+
+    @property
+    def directory(self) -> Directory:
+        return self._directory
+
+    def l1(self, core_id: int) -> CacheArray:
+        return self._l1s[core_id]
+
+    def register_listener(self, core_id: int, listener: ExternalConflictListener) -> None:
+        """Register the consistency controller responsible for ``core_id``."""
+        self._listeners[core_id] = listener
+
+    def _block(self, addr: int) -> int:
+        return block_address(addr, self._config.block_bytes)
+
+    # -- public access API -------------------------------------------------
+
+    def access(self, core_id: int, addr: int, is_write: bool, now: int,
+               spec_checkpoint: Optional[int] = None) -> AccessOutcome:
+        """Perform a load (``is_write=False``) or store access for a core.
+
+        Returns the access outcome, including the completion time at which
+        the data (for loads) or the write permission (for stores) is
+        available to the requester.  When ``spec_checkpoint`` is given the
+        access is speculative and the block's speculatively-read /
+        speculatively-written bit is set, tagged with that checkpoint id.
+        """
+        baddr = self._block(addr)
+        l1 = self._l1s[core_id]
+        block = l1.lookup(baddr)
+
+        if block is not None:
+            if not is_write:
+                self.l1_hits[core_id] += 1
+                if spec_checkpoint is not None:
+                    block.mark_spec_read(spec_checkpoint)
+                return AccessOutcome(hit=True, state=block.state,
+                                     completion_time=now + self._config.l1.hit_latency)
+            if block.state.is_writable:
+                self.l1_hits[core_id] += 1
+                return self._write_hit(core_id, block, now, spec_checkpoint)
+            # Present but Shared: upgrade miss.
+            self.upgrades[core_id] += 1
+            return self._transaction(core_id, baddr, TransactionKind.UPGRADE, now,
+                                     spec_checkpoint)
+
+        self.l1_misses[core_id] += 1
+        kind = TransactionKind.GETM if is_write else TransactionKind.GETS
+        return self._transaction(core_id, baddr, kind, now, spec_checkpoint)
+
+    def is_write_hit(self, core_id: int, addr: int) -> bool:
+        """Would a store to ``addr`` complete immediately in the L1?"""
+        return self._l1s[core_id].is_writable(addr)
+
+    def contains(self, core_id: int, addr: int) -> bool:
+        return self._l1s[core_id].contains(addr)
+
+    # -- write-hit path (including speculative dirty-block cleaning) -------
+
+    def _write_hit(self, core_id: int, block, now: int,
+                   spec_checkpoint: Optional[int]) -> AccessOutcome:
+        if spec_checkpoint is None:
+            block.state = CoherenceState.MODIFIED
+            block.dirty = True
+            return AccessOutcome(hit=True, state=block.state,
+                                 completion_time=now + self._config.l1.hit_latency)
+        # Speculative store.  If the block is non-speculatively dirty, the
+        # only copy of the pre-speculative data is in this L1, so a clean
+        # writeback pushes it to the L2 before the speculative value may
+        # overwrite it (Section 3.2).  The store waits in the store buffer
+        # for the cleaning writeback to finish.
+        completion = now + self._config.l1.hit_latency
+        if block.dirty and block.spec_written is None:
+            self.clean_writebacks[core_id] += 1
+            self._l2.install_dirty(block.address)
+            block.dirty = False
+            completion = now + self._config.clean_writeback_latency
+        block.mark_spec_written(spec_checkpoint)
+        block.state = CoherenceState.MODIFIED
+        return AccessOutcome(hit=True, state=block.state, completion_time=completion)
+
+    # -- the coherence transaction engine ----------------------------------
+
+    def _transaction(self, core_id: int, baddr: int, kind: TransactionKind,
+                     now: int, spec_checkpoint: Optional[int]) -> AccessOutcome:
+        config = self._config
+        home = self._topology.home_node(baddr, config.block_bytes)
+        entry = self._directory.entry(baddr)
+        is_write = kind in (TransactionKind.GETM, TransactionKind.UPGRADE)
+
+        # The request travels to the home node and is serialised behind any
+        # in-flight transaction for the same block.
+        arrive_home = now + self._latency.request_to_home(core_id, home)
+        start = max(arrive_home, entry.busy_until)
+
+        # Clean up stale directory information about the requester itself
+        # (e.g. after an abort invalidated the L1 copy without notifying the
+        # directory, or after a silent eviction).
+        stale_owner = entry.owner == core_id and not self._l1s[core_id].contains(baddr)
+        if stale_owner:
+            entry.owner = None
+        entry.sharers.discard(core_id)
+
+        record = TransactionRecord(kind=kind, requester=core_id, block_address=baddr,
+                                   issue_time=now, start_time=start, completion_time=start)
+
+        completion = start
+        if entry.owner is not None:
+            completion, l2_hit = self._handle_owner(core_id, baddr, entry, home, start,
+                                                    is_write, record)
+        else:
+            l2_hit = self._l2.probe(baddr)
+            completion = start + self._latency.directory_access(l2_hit)
+            completion += self._latency.data_response(home, core_id)
+            if not l2_hit:
+                self._l2.install(baddr)
+        record.l2_hit = l2_hit
+
+        if is_write and entry.sharers:
+            completion = max(completion,
+                             self._handle_invalidations(core_id, baddr, entry, home,
+                                                        start, record))
+
+        # Directory occupancy for the next transaction to this block.
+        entry.busy_until = start + config.directory_latency
+
+        # Update directory state.  Exclusive fills are tracked as ownership so
+        # that a later silent E->M write hit cannot leave stale sharers.
+        if is_write:
+            entry.sharers.clear()
+            entry.owner = core_id
+            new_state = CoherenceState.MODIFIED
+        elif entry.owner is None and not entry.sharers:
+            entry.owner = core_id
+            new_state = CoherenceState.EXCLUSIVE
+        else:
+            entry.sharers.add(core_id)
+            new_state = CoherenceState.SHARED
+
+        # Fill the requester's L1.
+        forced_delay = self._prepare_l1_fill(core_id, baddr, now)
+        completion += forced_delay
+        block = self._l1s[core_id].install(baddr, new_state, dirty=is_write)
+        if spec_checkpoint is not None:
+            if is_write:
+                block.mark_spec_written(spec_checkpoint)
+            else:
+                block.mark_spec_read(spec_checkpoint)
+
+        if is_write and config.store_prefetch_lead:
+            # Store prefetching: by retirement the write miss has already
+            # been outstanding for a while, so the retirement stage observes
+            # a shorter remaining latency.
+            earliest = now + config.l1.hit_latency + forced_delay
+            completion = max(earliest, completion - config.store_prefetch_lead)
+
+        record.completion_time = completion
+        if self._record:
+            self.transactions.append(record)
+        entry.check()
+        return AccessOutcome(hit=False, state=new_state, completion_time=completion,
+                             forced_commit_delay=forced_delay, record=record)
+
+    def _handle_owner(self, core_id: int, baddr: int, entry, home: int, start: int,
+                      is_write: bool, record: TransactionRecord):
+        """Forward the request to the current owner (three-hop transaction)."""
+        owner = entry.owner
+        assert owner is not None and owner != core_id
+        record.forwarded_from_owner = owner
+        completion = start + self._config.directory_latency
+        completion += self._latency.owner_forward(home, owner, core_id)
+
+        owner_l1 = self._l1s[owner]
+        owner_block = owner_l1.lookup(baddr, touch=False)
+        conflict_delay = 0
+        if owner_block is not None:
+            conflicts = (owner_block.conflicts_with_external_write() if is_write
+                         else owner_block.conflicts_with_external_read())
+            if conflicts:
+                arrival = start + self._latency.network(home, owner)
+                conflict_delay = self._resolve_conflict(owner, baddr, is_write, arrival)
+                record.conflicts.append(owner)
+                record.deferred_cycles = max(record.deferred_cycles, conflict_delay)
+            if is_write:
+                owner_block.invalidate()
+            else:
+                owner_block.state = CoherenceState.SHARED
+                owner_block.dirty = False
+        # The owner's (pre-speculative) data is written back to the L2.
+        self._l2.install_dirty(baddr)
+        l2_hit = True
+        if is_write:
+            entry.owner = None
+        else:
+            previous_owner = owner
+            entry.owner = None
+            entry.sharers.add(previous_owner)
+            entry.sharers.add(core_id)
+        return completion + conflict_delay, l2_hit
+
+    def _handle_invalidations(self, core_id: int, baddr: int, entry, home: int,
+                              start: int, record: TransactionRecord) -> int:
+        """Invalidate all sharers of a block being written; return ack time."""
+        worst = start
+        for sharer in sorted(entry.sharers):
+            if sharer == core_id:
+                continue
+            record.invalidated_sharers.append(sharer)
+            arrival = start + self._latency.network(home, sharer)
+            ack = arrival + self._latency.network(sharer, core_id)
+            sharer_l1 = self._l1s[sharer]
+            sharer_block = sharer_l1.lookup(baddr, touch=False)
+            if sharer_block is not None:
+                if sharer_block.conflicts_with_external_write():
+                    delay = self._resolve_conflict(sharer, baddr, True, arrival)
+                    ack += delay
+                    record.conflicts.append(sharer)
+                    record.deferred_cycles = max(record.deferred_cycles, delay)
+                sharer_block.invalidate()
+            worst = max(worst, ack)
+        return worst
+
+    def _resolve_conflict(self, victim: int, baddr: int, is_write: bool,
+                          arrival: int) -> int:
+        """Ask the victim's controller how to resolve a speculative conflict."""
+        self.conflicts_detected += 1
+        listener = self._listeners.get(victim)
+        if listener is None:
+            return 0
+        resolution = listener.on_external_conflict(baddr, is_write, arrival)
+        return max(0, resolution.extra_delay)
+
+    def _prepare_l1_fill(self, core_id: int, baddr: int, now: int) -> int:
+        """Make room in the requester's L1; returns forced-commit delay."""
+        l1 = self._l1s[core_id]
+        result = l1.prepare_fill(baddr)
+        forced_delay = 0
+        if result.requires_forced_commit:
+            listener = self._listeners.get(core_id)
+            if listener is None:
+                raise SimulationError(
+                    "a fill requires evicting speculative state but no "
+                    f"controller is registered for core {core_id}"
+                )
+            commit_done = listener.forced_commit(now)
+            forced_delay = max(0, commit_done - now)
+            result = l1.prepare_fill(baddr)
+            if result.requires_forced_commit:
+                raise SimulationError(
+                    "forced commit did not release any way in the target set"
+                )
+        victim = result.victim
+        if victim is not None:
+            self._evict(core_id, victim, needs_writeback=result.needs_writeback)
+        return forced_delay
+
+    def _evict(self, core_id: int, victim, needs_writeback: bool) -> None:
+        """Update directory/L2 state when an L1 block is evicted."""
+        entry = self._directory.peek(victim.address)
+        if entry is not None:
+            entry.sharers.discard(core_id)
+            if entry.owner == core_id:
+                entry.owner = None
+        if needs_writeback:
+            self._l2.install_dirty(victim.address)
+        elif victim.state.is_valid:
+            # Clean eviction: the L2 may or may not already hold the block;
+            # installing it keeps the inclusive-ish latency model simple.
+            self._l2.install(victim.address)
+
+    # -- debugging helpers --------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Cross-check directory state against L1 contents (tests only)."""
+        self._directory.check_invariants()
+        for entry in self._directory:
+            if entry.owner is not None:
+                block = self._l1s[entry.owner].lookup(entry.address, touch=False)
+                if block is not None and not block.state.is_writable:
+                    raise SimulationError(
+                        f"directory says core {entry.owner} owns {entry.address:#x} "
+                        f"but its L1 holds it in state {block.state}"
+                    )

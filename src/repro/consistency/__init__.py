@@ -1,0 +1,32 @@
+"""Memory consistency models and their conventional implementations.
+
+Figure 2 of the paper summarises how canonical implementations of SC, TSO,
+and RMO differ: store buffer organisation, and which instruction classes
+must wait for the store buffer to drain (or for their own store to
+complete) before retiring.  :mod:`repro.consistency.rules` encodes that
+table; :mod:`repro.consistency.conventional` implements the corresponding
+non-speculative controllers used as baselines throughout the evaluation.
+"""
+
+from .base import ConsistencyController, RETIRE_CYCLES
+from .rules import AtomicRequirement, OrderingRules, rules_for
+from .conventional import (
+    ConventionalController,
+    ConventionalSC,
+    ConventionalTSO,
+    ConventionalRMO,
+    conventional_controller,
+)
+
+__all__ = [
+    "ConsistencyController",
+    "RETIRE_CYCLES",
+    "OrderingRules",
+    "AtomicRequirement",
+    "rules_for",
+    "ConventionalController",
+    "ConventionalSC",
+    "ConventionalTSO",
+    "ConventionalRMO",
+    "conventional_controller",
+]

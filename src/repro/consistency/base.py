@@ -1,0 +1,250 @@
+"""Base class for all consistency controllers.
+
+A consistency controller is the piece of a core that decides how each
+retiring operation interacts with the store buffer, the memory system, and
+(for speculative implementations) the checkpoint/rollback machinery.  The
+:class:`ConsistencyController` base class provides the op-processing
+helpers shared by every implementation:
+
+* classified cycle accounting (busy / other / sb_full / sb_drain),
+* store-buffer capacity stalls,
+* the load / store / atomic / fence / compute access paths,
+* default (no-op) implementations of the memory-system listener hooks so
+  that non-speculative controllers can be registered directly.
+
+Concrete subclasses:
+
+* :class:`repro.consistency.conventional.ConventionalController` (SC, TSO,
+  RMO baselines),
+* :class:`repro.core.selective.InvisiFenceSelective`,
+* :class:`repro.core.continuous.InvisiFenceContinuous`,
+* :class:`repro.aso.controller.ASOController`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, TYPE_CHECKING
+
+from ..coherence.messages import AccessOutcome, ConflictResolution
+from ..config import SystemConfig
+from ..cpu.store_buffer import CoalescingStoreBuffer, StoreBufferBase, make_store_buffer
+from ..errors import SimulationError
+from ..trace.ops import MemOp, OpKind
+from .rules import OrderingRules, rules_for
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cpu.core import Core
+
+#: Cycles charged as "busy" for retiring one operation.
+RETIRE_CYCLES = 1
+
+
+class ConsistencyController:
+    """Common machinery for conventional and speculative controllers."""
+
+    def __init__(self, core: "Core") -> None:
+        self.core = core
+        self.core_id = core.core_id
+        self.config: SystemConfig = core.config
+        self.mem = core.mem
+        self.stats = core.stats
+        assert self.config.store_buffer is not None
+        self.sb: StoreBufferBase = make_store_buffer(self.config.store_buffer)
+        self.rules: OrderingRules = rules_for(self.config.consistency)
+
+    # ------------------------------------------------------------------
+    # Interface used by the Core
+    # ------------------------------------------------------------------
+
+    def process_op(self, op: MemOp, now: int) -> int:
+        """Process one retiring operation; return its finish time."""
+        raise NotImplementedError
+
+    def at_trace_end(self, now: int) -> Tuple[str, int]:
+        """Called when the trace is exhausted.
+
+        Returns ``("done", finish_time)`` when the core may retire, or
+        ``("wait", wake_time)`` when outstanding work (store buffer drain,
+        speculation commit) must complete first.  The default behaviour
+        waits for the store buffer to drain, charging the wait to
+        ``sb_drain``.
+        """
+        drain = self.sb.drain_time(now)
+        if drain > now:
+            self.stats.add_cycles("sb_drain", drain - now)
+            return ("wait", drain)
+        return ("done", now)
+
+    # ------------------------------------------------------------------
+    # Memory-system listener hooks (overridden by speculative controllers)
+    # ------------------------------------------------------------------
+
+    def on_external_conflict(self, block_addr: int, is_write: bool,
+                             arrival_time: int) -> ConflictResolution:
+        """Non-speculative controllers never have speculative conflicts."""
+        return ConflictResolution(extra_delay=0)
+
+    def forced_commit(self, now: int) -> int:
+        """Non-speculative controllers never pin blocks speculatively."""
+        return now
+
+    def on_measurement_reset(self) -> None:
+        """Called when the core's warmup period ends and counters are zeroed."""
+
+    # ------------------------------------------------------------------
+    # Speculation status (queried by experiments; trivially false here)
+    # ------------------------------------------------------------------
+
+    @property
+    def speculating(self) -> bool:
+        return False
+
+    def active_checkpoint_id(self) -> Optional[int]:
+        return None
+
+    # ------------------------------------------------------------------
+    # Shared op-processing helpers
+    # ------------------------------------------------------------------
+
+    def _account(self, category: str, cycles: int) -> None:
+        if cycles > 0:
+            self.stats.add_cycles(category, cycles)
+
+    def _do_compute(self, op: MemOp, now: int) -> int:
+        self._account("busy", op.cycles)
+        return now + op.cycles
+
+    def _wait_for_sb_slot(self, now: int) -> int:
+        """Stall until the store buffer has a free entry (``SB full``)."""
+        if not self.sb.is_full(now):
+            return now
+        free_at = self.sb.next_free_slot_time(now)
+        if free_at <= now:
+            raise SimulationError("store buffer reported full but no release time")
+        self._account("sb_full", free_at - now)
+        return free_at
+
+    def _drain_store_buffer(self, now: int, category: str = "sb_drain") -> int:
+        """Stall until the store buffer is empty."""
+        drain = self.sb.drain_time(now)
+        if drain > now:
+            self._account(category, drain - now)
+        return max(drain, now)
+
+    def _do_load(self, op: MemOp, now: int,
+                 spec_checkpoint: Optional[int] = None) -> int:
+        """Perform a load; classify the miss latency as ``other``."""
+        self.stats.loads += 1
+        outcome = self.mem.access(self.core_id, op.address, is_write=False,
+                                  now=now, spec_checkpoint=spec_checkpoint)
+        return self._finish_access(outcome, now)
+
+    def _finish_access(self, outcome: AccessOutcome, now: int) -> int:
+        """Classify an access that stalls retirement until completion."""
+        finish = max(outcome.completion_time, now + RETIRE_CYCLES)
+        total = finish - now
+        busy = min(total, RETIRE_CYCLES)
+        forced = min(outcome.forced_commit_delay, total - busy)
+        other = total - busy - forced
+        self._account("busy", busy)
+        self._account("sb_drain", forced)
+        self._account("other", other)
+        return finish
+
+    def _do_store(self, op: MemOp, now: int,
+                  spec_checkpoint: Optional[int] = None) -> int:
+        """Perform a store through the store buffer.
+
+        Stores never stall retirement except for store-buffer capacity.
+        With a coalescing buffer, stores that already have write permission
+        retire directly into the L1 (the paper's RMO/InvisiFence behaviour);
+        with a FIFO buffer every store occupies an entry to preserve order.
+        """
+        self.stats.stores += 1
+        coalescing = isinstance(self.sb, CoalescingStoreBuffer)
+
+        if coalescing and self.mem.is_write_hit(self.core_id, op.address) \
+                and not self.sb.has_block(op.address, now):
+            outcome = self.mem.access(self.core_id, op.address, is_write=True,
+                                      now=now, spec_checkpoint=spec_checkpoint)
+            if outcome.completion_time <= now + self.config.l1.hit_latency:
+                self._account("busy", RETIRE_CYCLES)
+                return now + RETIRE_CYCLES
+            # A speculative store to a dirty block waits for the cleaning
+            # writeback inside the store buffer.
+            now = self._wait_for_sb_slot(now)
+            self.sb.add_store(op.address, now, outcome.completion_time,
+                              speculative=spec_checkpoint is not None,
+                              checkpoint_id=spec_checkpoint)
+            self._account("busy", RETIRE_CYCLES)
+            return now + RETIRE_CYCLES
+
+        now = self._wait_for_sb_slot(now)
+        outcome = self.mem.access(self.core_id, op.address, is_write=True,
+                                  now=now, spec_checkpoint=spec_checkpoint)
+        forced = outcome.forced_commit_delay
+        if forced:
+            self._account("sb_drain", forced)
+            now += forced
+        self.sb.add_store(op.address, now, outcome.completion_time,
+                          speculative=spec_checkpoint is not None,
+                          checkpoint_id=spec_checkpoint)
+        self._account("busy", RETIRE_CYCLES)
+        return now + RETIRE_CYCLES
+
+    def _do_atomic_blocking(self, op: MemOp, now: int,
+                            category: str = "sb_drain") -> int:
+        """Perform an atomic that stalls retirement until it completes.
+
+        Used by all conventional implementations: the read-modify-write
+        needs write permission before it may retire, and the wait is an
+        ordering/atomicity stall.
+        """
+        self.stats.atomics += 1
+        outcome = self.mem.access(self.core_id, op.address, is_write=True, now=now)
+        finish = max(outcome.completion_time, now + 2 * RETIRE_CYCLES)
+        total = finish - now
+        busy = min(total, 2 * RETIRE_CYCLES)
+        self._account("busy", busy)
+        self._account(category, total - busy)
+        return finish
+
+    def _do_atomic_speculative(self, op: MemOp, now: int,
+                               spec_checkpoint: int) -> int:
+        """Perform an atomic inside a speculation: no retirement stall.
+
+        Both halves of the read-modify-write stay within the same
+        speculation, so atomicity is guaranteed by the all-or-nothing commit
+        (Section 3.2).  A miss simply leaves a speculative entry in the
+        store buffer.
+        """
+        self.stats.atomics += 1
+        if self.mem.is_write_hit(self.core_id, op.address) \
+                and not self.sb.has_block(op.address, now):
+            outcome = self.mem.access(self.core_id, op.address, is_write=True,
+                                      now=now, spec_checkpoint=spec_checkpoint)
+            if outcome.completion_time <= now + self.config.l1.hit_latency:
+                self._account("busy", 2 * RETIRE_CYCLES)
+                return now + 2 * RETIRE_CYCLES
+            now = self._wait_for_sb_slot(now)
+            self.sb.add_store(op.address, now, outcome.completion_time,
+                              speculative=True, checkpoint_id=spec_checkpoint)
+            self._account("busy", 2 * RETIRE_CYCLES)
+            return now + 2 * RETIRE_CYCLES
+        now = self._wait_for_sb_slot(now)
+        outcome = self.mem.access(self.core_id, op.address, is_write=True,
+                                  now=now, spec_checkpoint=spec_checkpoint)
+        forced = outcome.forced_commit_delay
+        if forced:
+            self._account("sb_drain", forced)
+            now += forced
+        self.sb.add_store(op.address, now, outcome.completion_time,
+                          speculative=True, checkpoint_id=spec_checkpoint)
+        self._account("busy", 2 * RETIRE_CYCLES)
+        return now + 2 * RETIRE_CYCLES
+
+    def _do_fence_free(self, op: MemOp, now: int) -> int:
+        """Retire a fence without any ordering stall."""
+        self.stats.fences += 1
+        self._account("busy", RETIRE_CYCLES)
+        return now + RETIRE_CYCLES

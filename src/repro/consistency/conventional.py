@@ -1,0 +1,87 @@
+"""Conventional (non-speculative) consistency implementations.
+
+These are the baselines of Section 2.1 / Figure 2:
+
+* **SC**: word-granularity FIFO store buffer; every load and every atomic
+  stalls retirement until the store buffer drains; fences are unnecessary
+  and retire for free.
+* **TSO**: word-granularity FIFO store buffer; loads retire past
+  outstanding stores, but atomics and full fences drain the store buffer.
+* **RMO**: block-granularity coalescing store buffer; store hits retire
+  directly into the L1; fences drain the store buffer; atomics stall only
+  until they obtain write permission for their own block.
+
+Capacity ("SB full") stalls arise naturally from the buffer sizes: the
+FIFO buffers of SC/TSO fill during store bursts, while RMO's coalescing
+buffer rarely fills because only outstanding misses occupy entries.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..config import ConsistencyModel
+from ..errors import ConfigurationError
+from ..trace.ops import MemOp, OpKind
+from .base import ConsistencyController
+from .rules import AtomicRequirement
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cpu.core import Core
+
+
+class ConventionalController(ConsistencyController):
+    """Shared op dispatch for the three conventional implementations."""
+
+    def process_op(self, op: MemOp, now: int) -> int:
+        if op.kind is OpKind.COMPUTE:
+            return self._do_compute(op, now)
+        if op.kind is OpKind.LOAD:
+            if self.rules.load_requires_drain and not self.sb.is_empty(now):
+                now = self._drain_store_buffer(now)
+            return self._do_load(op, now)
+        if op.kind is OpKind.STORE:
+            return self._do_store(op, now)
+        if op.kind is OpKind.ATOMIC:
+            return self._process_atomic(op, now)
+        if op.kind is OpKind.FENCE:
+            return self._process_fence(op, now)
+        raise ConfigurationError(f"unhandled operation kind {op.kind}")  # pragma: no cover
+
+    def _process_atomic(self, op: MemOp, now: int) -> int:
+        if self.rules.atomic is AtomicRequirement.DRAIN_STORE_BUFFER \
+                and not self.sb.is_empty(now):
+            now = self._drain_store_buffer(now)
+        # Under every conventional model the read-modify-write must obtain
+        # write permission before it can retire (atomicity).
+        return self._do_atomic_blocking(op, now)
+
+    def _process_fence(self, op: MemOp, now: int) -> int:
+        if self.rules.fence_requires_drain and not self.sb.is_empty(now):
+            now = self._drain_store_buffer(now)
+        return self._do_fence_free(op, now)
+
+
+class ConventionalSC(ConventionalController):
+    """Sequential consistency with a word-granularity FIFO store buffer."""
+
+
+class ConventionalTSO(ConventionalController):
+    """Total store order (SPARC TSO / x86-like) baseline."""
+
+
+class ConventionalRMO(ConventionalController):
+    """Relaxed memory order (SPARC RMO / Power / ARM-like) baseline."""
+
+
+_CONTROLLERS = {
+    ConsistencyModel.SC: ConventionalSC,
+    ConsistencyModel.TSO: ConventionalTSO,
+    ConsistencyModel.RMO: ConventionalRMO,
+}
+
+
+def conventional_controller(core: "Core") -> ConventionalController:
+    """Instantiate the conventional controller for the core's model."""
+    cls = _CONTROLLERS[core.config.consistency]
+    return cls(core)

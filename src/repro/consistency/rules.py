@@ -1,0 +1,90 @@
+"""Ordering-requirement tables (Figure 2 of the paper).
+
+Each consistency model is described by what a load, store, atomic
+operation, or full fence must wait for before it may retire:
+
+=========  =============  ==========  ===================  ============
+Model      Store buffer   Load        Atomic               Full fence
+=========  =============  ==========  ===================  ============
+SC         FIFO, word     drain SB    drain SB             (not needed)
+TSO        FIFO, word     --          drain SB             drain SB
+RMO        coalescing     --          complete own store   drain SB
+=========  =============  ==========  ===================  ============
+
+These rules drive both the conventional controllers and the speculation
+*triggers* of InvisiFence-Selective (speculate exactly when a conventional
+implementation would stall).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..config import ConsistencyModel
+
+
+class AtomicRequirement(Enum):
+    """What an atomic read-modify-write must wait for before retiring."""
+
+    DRAIN_STORE_BUFFER = "drain_sb"
+    COMPLETE_OWN_STORE = "complete_store"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class OrderingRules:
+    """Retirement requirements of one consistency model."""
+
+    model: ConsistencyModel
+    #: loads must wait for the store buffer to drain (SC only).
+    load_requires_drain: bool
+    #: stores must not be reordered with respect to earlier stores.  Both
+    #: FIFO organisations preserve this implicitly; it matters only for
+    #: speculative implementations that use an unordered coalescing buffer.
+    store_order_required: bool
+    atomic: AtomicRequirement
+    #: full fences drain the store buffer ("not needed" under SC, where the
+    #: hardware already enforces all orderings -- fences retire for free).
+    fence_requires_drain: bool
+
+    @property
+    def description(self) -> str:
+        relaxations = {
+            ConsistencyModel.SC: "None",
+            ConsistencyModel.TSO: "Store-to-load",
+            ConsistencyModel.RMO: "All",
+        }
+        return relaxations[self.model]
+
+
+_RULES = {
+    ConsistencyModel.SC: OrderingRules(
+        model=ConsistencyModel.SC,
+        load_requires_drain=True,
+        store_order_required=True,
+        atomic=AtomicRequirement.DRAIN_STORE_BUFFER,
+        fence_requires_drain=False,
+    ),
+    ConsistencyModel.TSO: OrderingRules(
+        model=ConsistencyModel.TSO,
+        load_requires_drain=False,
+        store_order_required=True,
+        atomic=AtomicRequirement.DRAIN_STORE_BUFFER,
+        fence_requires_drain=True,
+    ),
+    ConsistencyModel.RMO: OrderingRules(
+        model=ConsistencyModel.RMO,
+        load_requires_drain=False,
+        store_order_required=False,
+        atomic=AtomicRequirement.COMPLETE_OWN_STORE,
+        fence_requires_drain=True,
+    ),
+}
+
+
+def rules_for(model: ConsistencyModel) -> OrderingRules:
+    """Return the Figure 2 ordering rules for ``model``."""
+    return _RULES[model]

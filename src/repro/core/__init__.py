@@ -1,0 +1,28 @@
+"""InvisiFence: post-retirement speculation for memory-ordering transparency.
+
+This package is the paper's primary contribution (Sections 3 and 4):
+
+* :mod:`repro.core.checkpoint` -- register checkpoints.
+* :mod:`repro.core.base` -- the speculation mechanisms shared by every
+  InvisiFence variant: speculative access bits in the L1, flash commit and
+  flash abort, violation detection against external coherence requests,
+  forced commit before evicting speculative blocks, and the
+  commit-on-violate (CoV) deferral policy.
+* :mod:`repro.core.selective` -- INVISIFENCE-SELECTIVE: speculate only when
+  the target consistency model would otherwise stall retirement.
+* :mod:`repro.core.continuous` -- INVISIFENCE-CONTINUOUS: execute the whole
+  program as a sequence of speculative chunks, subsuming in-window
+  consistency enforcement.
+"""
+
+from .checkpoint import Checkpoint
+from .base import SpeculativeController
+from .selective import InvisiFenceSelective
+from .continuous import InvisiFenceContinuous
+
+__all__ = [
+    "Checkpoint",
+    "SpeculativeController",
+    "InvisiFenceSelective",
+    "InvisiFenceContinuous",
+]

@@ -1,0 +1,152 @@
+"""INVISIFENCE-CONTINUOUS (Section 4.2).
+
+Every operation executes inside a speculative chunk, which subsumes the
+in-window mechanisms for detecting consistency violations (loads mark the
+speculatively-read bits as soon as they access the cache, and every load is
+part of some chunk).  To avoid overly frequent checkpointing a chunk must
+reach a minimum size before it may close; once closed it commits as soon as
+all of its stores have completed.  Two checkpoints are supported so that a
+closed chunk's commit (waiting on store misses) overlaps with execution of
+the next chunk.
+
+A violation against a block touched by the *older* (closed) chunk rolls
+both chunks back; a violation against a block touched only by the active
+chunk rolls back just the active chunk.  Under the commit-on-violate
+policy the conflicting request is instead deferred while the processor
+tries to drain its store buffer and commit everything.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from ..errors import ConfigurationError
+from ..trace.ops import MemOp, OpKind
+from .base import SpeculativeController
+from .checkpoint import Checkpoint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cpu.core import Core
+
+
+class InvisiFenceContinuous(SpeculativeController):
+    """Speculate continuously in chunks of a minimum size."""
+
+    def __init__(self, core: "Core") -> None:
+        super().__init__(core)
+        if self.spec_config.num_checkpoints < 2:
+            raise ConfigurationError(
+                "InvisiFence-Continuous requires two checkpoints to pipeline "
+                "chunk commit with execution"
+            )
+        # Continuous speculation can never fall back to non-speculative
+        # execution, so forward progress after an abort is guaranteed by
+        # deferring further conflicting requests until one commit succeeds.
+        self._use_forward_progress_deferral = True
+
+    # ------------------------------------------------------------------
+    # Chunk helpers
+    # ------------------------------------------------------------------
+
+    def _pending_chunk(self) -> Optional[Checkpoint]:
+        """The closed chunk waiting for its stores to complete, if any."""
+        if self._checkpoints and self._checkpoints[0].closed:
+            return self._checkpoints[0]
+        return None
+
+    def _active_chunk(self, now: int) -> Checkpoint:
+        """The chunk accepting new operations (opened lazily)."""
+        if self._checkpoints and not self._checkpoints[-1].closed:
+            return self._checkpoints[-1]
+        return self.begin_speculation(now)
+
+    def _maybe_close_chunk(self, now: int) -> None:
+        """Close the active chunk once it reaches the minimum size.
+
+        Closing requires a free checkpoint: with only two checkpoints the
+        active chunk keeps growing while an older chunk is still waiting to
+        commit.
+        """
+        active = self._checkpoints[-1] if self._checkpoints else None
+        if active is None or active.closed:
+            return
+        if active.ops < self.spec_config.min_chunk_size:
+            return
+        if self._pending_chunk() is not None:
+            return
+        active.close_time = now
+        ready = max(now, self.sb.drain_time_for_checkpoint(active.checkpoint_id, now))
+        epoch = self._spec_epoch
+        chunk_id = active.checkpoint_id
+        self.core.schedule_call(
+            ready, lambda t, e=epoch, c=chunk_id: self._chunk_commit_check(t, e, c)
+        )
+
+    def _chunk_commit_check(self, now: int, epoch: int, chunk_id: int) -> None:
+        if epoch != self._spec_epoch:
+            return
+        pending = self._pending_chunk()
+        if pending is None or pending.checkpoint_id != chunk_id:
+            return
+        ready = self.sb.drain_time_for_checkpoint(chunk_id, now)
+        if ready > now:
+            self.core.schedule_call(
+                ready, lambda t, e=epoch, c=chunk_id: self._chunk_commit_check(t, e, c)
+            )
+            return
+        self.commit_checkpoint(pending, now)
+        # The active chunk may itself have been waiting for a free checkpoint.
+        self._maybe_close_chunk(now)
+
+    def _commit_allowed(self, now: int) -> bool:
+        """Whole-speculation commits only happen for CoV or at trace end."""
+        return False
+
+    # ------------------------------------------------------------------
+    # Op processing
+    # ------------------------------------------------------------------
+
+    def process_op(self, op: MemOp, now: int) -> int:
+        chunk = self._active_chunk(now)
+        checkpoint_id = chunk.checkpoint_id
+
+        if op.kind is OpKind.COMPUTE:
+            finish = self._do_compute(op, now)
+            chunk.note_ops(op.cycles)
+        elif op.kind is OpKind.LOAD:
+            finish = self._do_load(op, now, spec_checkpoint=checkpoint_id)
+            chunk.note_ops(1)
+        elif op.kind is OpKind.STORE:
+            finish = self._do_store(op, now, spec_checkpoint=checkpoint_id)
+            chunk.note_ops(1)
+        elif op.kind is OpKind.ATOMIC:
+            finish = self._do_atomic_speculative(op, now, checkpoint_id)
+            chunk.note_ops(1)
+        elif op.kind is OpKind.FENCE:
+            finish = self._do_fence_free(op, now)
+            chunk.note_ops(1)
+        else:  # pragma: no cover - defensive
+            raise ConfigurationError(f"unhandled operation kind {op.kind}")
+
+        self._maybe_close_chunk(finish)
+        return finish
+
+    # ------------------------------------------------------------------
+    # Trace end
+    # ------------------------------------------------------------------
+
+    def at_trace_end(self, now: int):
+        drain = self.sb.drain_time(now)
+        if drain > now:
+            self.stats.add_cycles("sb_drain", drain - now)
+            return ("wait", drain)
+        if self.speculating:
+            # All stores have completed; commit everything.
+            for checkpoint in list(self._checkpoints):
+                if checkpoint.close_time is None:
+                    checkpoint.close_time = now
+            self.commit_all(now)
+        # See SpeculativeController.at_trace_end: clear any bits tagged with
+        # already-committed checkpoint ids.
+        self._l1().flash_clear_spec_bits()
+        return ("done", now)

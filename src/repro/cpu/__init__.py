@@ -1,0 +1,30 @@
+"""Processor-side models: store buffers, per-core statistics, and the core.
+
+The core is a trace-driven retirement engine: it consumes a program-order
+sequence of operations, delegating every ordering decision to a pluggable
+consistency controller (conventional SC/TSO/RMO, InvisiFence selective or
+continuous, or ASO).  Store buffers follow the two organisations of
+Figure 2/6: a word-granularity FIFO (SC, TSO) and a block-granularity
+coalescing buffer (RMO, InvisiFence).
+"""
+
+from .store_buffer import (
+    CoalescingStoreBuffer,
+    FIFOStoreBuffer,
+    StoreBufferBase,
+    StoreBufferEntry,
+    make_store_buffer,
+)
+from .stats import CoreStats, STALL_CLASSES
+from .core import Core
+
+__all__ = [
+    "StoreBufferBase",
+    "StoreBufferEntry",
+    "FIFOStoreBuffer",
+    "CoalescingStoreBuffer",
+    "make_store_buffer",
+    "CoreStats",
+    "STALL_CLASSES",
+    "Core",
+]

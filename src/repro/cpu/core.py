@@ -1,0 +1,141 @@
+"""The trace-driven core.
+
+A :class:`Core` consumes one program-order trace.  It owns no ordering
+logic itself: every operation is handed to the attached consistency
+controller, which returns the time at which the operation finished
+retiring.  The core then schedules itself to process the next operation at
+that time.
+
+Speculative controllers can roll the core back: :meth:`Core.rollback`
+resets the trace index to the checkpointed position, bumps the core's
+generation counter (which cancels any in-flight step event), and
+reschedules processing.  Controllers can also schedule auxiliary callbacks
+(commit checks, deferred aborts) through :meth:`Core.schedule_call`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TYPE_CHECKING
+
+from ..config import SystemConfig
+from ..errors import SimulationError
+from ..trace.trace import Trace
+from .stats import CoreStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..coherence.memory_system import MemorySystem
+    from ..consistency.base import ConsistencyController
+    from ..engine.events import EventQueue
+
+
+class Core:
+    """One simulated processor core."""
+
+    def __init__(self, core_id: int, trace: Trace, config: SystemConfig,
+                 mem: "MemorySystem", events: "EventQueue",
+                 warmup_ops: int = 0) -> None:
+        self.core_id = core_id
+        self.trace = trace
+        self.config = config
+        self.mem = mem
+        self.events = events
+        self.stats = CoreStats()
+        self.controller: Optional["ConsistencyController"] = None
+
+        self._index = 0
+        self._generation = 0
+        self._finished = False
+        self.finish_time: Optional[int] = None
+        #: number of leading trace operations treated as cache/statistics
+        #: warmup: when the core first retires past this index (while not
+        #: speculating) every counter is reset.
+        self.warmup_ops = max(0, min(warmup_ops, len(trace)))
+        self._warmup_done = self.warmup_ops == 0
+
+    # -- wiring --------------------------------------------------------------
+
+    def attach_controller(self, controller: "ConsistencyController") -> None:
+        self.controller = controller
+        self.mem.register_listener(self.core_id, controller)
+
+    # -- trace position --------------------------------------------------------
+
+    @property
+    def trace_index(self) -> int:
+        return self._index
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    @property
+    def remaining_ops(self) -> int:
+        return max(0, len(self.trace) - self._index)
+
+    # -- scheduling --------------------------------------------------------------
+
+    def start(self, at: int = 0) -> None:
+        """Schedule the first processing step."""
+        if self.controller is None:
+            raise SimulationError(f"core {self.core_id} has no controller attached")
+        self._schedule_step(at)
+
+    def schedule_call(self, time: int, callback: Callable[[int], None]) -> None:
+        """Schedule a controller callback (commit check, deferred abort, ...)."""
+        self.events.schedule(time, callback)
+
+    def _schedule_step(self, time: int) -> None:
+        generation = self._generation
+        self.events.schedule(time, lambda now, gen=generation: self._step(now, gen))
+
+    def rollback(self, trace_index: int, now: int) -> None:
+        """Reset the trace position after an abort and resume at ``now``."""
+        if trace_index < 0 or trace_index > len(self.trace):
+            raise SimulationError(
+                f"rollback to invalid trace index {trace_index} on core {self.core_id}"
+            )
+        self.stats.replayed_ops += max(0, self._index - trace_index)
+        self._index = trace_index
+        self._generation += 1
+        self._finished = False
+        self.finish_time = None
+        self._schedule_step(now)
+
+    # -- the per-op step -----------------------------------------------------------
+
+    def _step(self, now: int, generation: int) -> None:
+        if generation != self._generation or self._finished:
+            return
+        assert self.controller is not None
+        if not self._warmup_done and self._index >= self.warmup_ops:
+            self.stats.reset_measurement()
+            self.controller.on_measurement_reset()
+            self._warmup_done = True
+        if self._index >= len(self.trace):
+            self._handle_trace_end(now)
+            return
+        op = self.trace[self._index]
+        finish = self.controller.process_op(op, now)
+        if finish < now:
+            raise SimulationError(
+                f"controller returned a finish time in the past on core {self.core_id}"
+            )
+        self._index += 1
+        self.stats.instructions += op.cycles if not op.is_memory and op.kind.value == "compute" else 1
+        self._schedule_step(finish)
+
+    def _handle_trace_end(self, now: int) -> None:
+        assert self.controller is not None
+        status, time = self.controller.at_trace_end(now)
+        if status == "done":
+            self._finished = True
+            self.finish_time = max(time, now)
+            self.stats.finish_time = self.finish_time
+        elif status == "wait":
+            if time <= now:
+                raise SimulationError(
+                    "controller asked to wait without advancing time at trace end"
+                )
+            self._schedule_step(time)
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown trace-end status {status!r}")

@@ -1,0 +1,126 @@
+"""Per-core statistics and the paper's stall taxonomy.
+
+The paper divides execution time into five components (Figure 9):
+
+* ``busy``      -- cycles actively retiring instructions,
+* ``other``     -- stall cycles unrelated to memory ordering (load misses,
+                   atomic data misses, ...),
+* ``sb_full``   -- cycles a store stalls retirement waiting for a free
+                   store buffer entry,
+* ``sb_drain``  -- cycles stalled waiting for the store buffer to drain
+                   because of an ordering requirement (fences, atomics, and
+                   under SC every load),
+* ``violation`` -- cycles spent on speculative work that was later rolled
+                   back due to an ordering violation.
+
+The first four are *work classes*: when a speculation aborts, the work
+classes accumulated since the checkpoint are rolled back and the elapsed
+time is recorded as ``violation`` instead.  :meth:`CoreStats.snapshot` and
+:meth:`CoreStats.rollback_to` implement exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+#: The four classes that are reassigned to ``violation`` on an abort.
+STALL_CLASSES = ("busy", "other", "sb_full", "sb_drain")
+
+#: All runtime components reported in breakdowns.
+BREAKDOWN_COMPONENTS = ("busy", "other", "sb_full", "sb_drain", "violation")
+
+
+@dataclass
+class CoreStats:
+    """Cycle and event counters for one core."""
+
+    # -- cycle breakdown ---------------------------------------------------
+    busy: int = 0
+    other: int = 0
+    sb_full: int = 0
+    sb_drain: int = 0
+    violation: int = 0
+
+    # -- speculation activity ----------------------------------------------
+    spec_cycles: int = 0
+    speculations: int = 0
+    commits: int = 0
+    aborts: int = 0
+    cov_commits: int = 0
+    cov_aborts: int = 0
+    forced_commits: int = 0
+    replayed_ops: int = 0
+
+    # -- operation counts ---------------------------------------------------
+    loads: int = 0
+    stores: int = 0
+    atomics: int = 0
+    fences: int = 0
+    instructions: int = 0
+
+    #: time at which this core finished its trace.
+    finish_time: int = 0
+
+    def add_cycles(self, category: str, cycles: int) -> None:
+        """Accumulate ``cycles`` into one of the breakdown components."""
+        if cycles < 0:
+            raise ValueError(f"negative cycle count for {category}: {cycles}")
+        setattr(self, category, getattr(self, category) + cycles)
+
+    def reset_measurement(self) -> None:
+        """Zero every counter (used when a measurement warmup period ends).
+
+        Cold-start cache misses dominate short synthetic traces; the paper's
+        sampling methodology likewise measures only warmed-up execution.
+        """
+        for name in BREAKDOWN_COMPONENTS:
+            setattr(self, name, 0)
+        for name in ("spec_cycles", "speculations", "commits", "aborts",
+                     "cov_commits", "cov_aborts", "forced_commits",
+                     "replayed_ops", "loads", "stores", "atomics", "fences",
+                     "instructions"):
+            setattr(self, name, 0)
+
+    # -- speculation rollback accounting ------------------------------------
+
+    def snapshot(self) -> Dict[str, int]:
+        """Capture the work classes (taken when a checkpoint is created)."""
+        return {name: getattr(self, name) for name in STALL_CLASSES}
+
+    def rollback_to(self, snapshot: Dict[str, int], elapsed: int) -> None:
+        """Discard work since ``snapshot`` and charge ``elapsed`` to violation.
+
+        ``elapsed`` is the wall-clock time between the checkpoint and the
+        abort; all of it is accounted as violation cycles, and the work
+        class counters are restored so no cycle is counted twice.
+        """
+        if elapsed < 0:
+            raise ValueError("elapsed time since checkpoint cannot be negative")
+        for name in STALL_CLASSES:
+            setattr(self, name, snapshot[name])
+        self.violation += elapsed
+
+    # -- reporting ----------------------------------------------------------
+
+    def total_accounted(self) -> int:
+        """Sum of all breakdown components."""
+        return sum(getattr(self, name) for name in BREAKDOWN_COMPONENTS)
+
+    def breakdown(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in BREAKDOWN_COMPONENTS}
+
+    def ordering_stall_cycles(self) -> int:
+        """Cycles lost to memory ordering (the quantity Figure 1 plots)."""
+        return self.sb_full + self.sb_drain + self.violation
+
+    def merge(self, other: "CoreStats") -> None:
+        """Accumulate another core's counters into this one (aggregation)."""
+        for name in BREAKDOWN_COMPONENTS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        for name in ("spec_cycles", "speculations", "commits", "aborts",
+                     "cov_commits", "cov_aborts", "forced_commits",
+                     "replayed_ops", "loads", "stores", "atomics", "fences",
+                     "instructions"):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.finish_time = max(self.finish_time, other.finish_time)

@@ -1,0 +1,261 @@
+"""Post-retirement store buffers.
+
+Two organisations are modelled, matching Figure 2 / Figure 6 of the paper:
+
+* :class:`FIFOStoreBuffer` -- word-granularity (8-byte), age-ordered buffer
+  used by the conventional SC and TSO implementations.  Entries leave the
+  buffer strictly in order, so an entry is released only once *its own*
+  write permission has arrived *and* every older entry has been released.
+
+* :class:`CoalescingStoreBuffer` -- block-granularity, unordered buffer used
+  by the conventional RMO implementation, by InvisiFence, and (for pending
+  misses) by ASO.  Stores to a block with a pending entry coalesce into it,
+  except that speculative and non-speculative stores to the same block are
+  never merged (Section 3.1), mirroring InvisiFence's rule that protects
+  non-speculative data from being flash-invalidated on abort.
+
+Because the memory system is synchronous, the completion time of a store's
+write permission is known at insertion time; the buffer therefore only does
+bookkeeping: capacity, release ordering, drain times, and flash-invalidation
+of speculative entries on abort.
+
+Timing queries (``is_empty``, ``drain_time``, ...) are *non-destructive*:
+they may legitimately be asked about future instants (e.g. "will the buffer
+be empty when this op finishes?") as well as about the present (e.g. by the
+conflict-resolution path of another core), so they must never throw away
+entries.  Physical cleanup of long-dead entries happens only on insertion,
+using the inserting core's own (monotonically advancing) clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..config import StoreBufferConfig, StoreBufferKind
+from ..errors import StoreBufferError
+from ..memory.address import block_address, word_address
+
+
+@dataclass
+class StoreBufferEntry:
+    """One buffered store (word or block granularity)."""
+
+    address: int
+    #: time at which the write permission / cleaning operation completes.
+    completion_time: int
+    #: time at which the entry actually leaves the buffer (>= completion).
+    release_time: int
+    speculative: bool = False
+    #: id of the checkpoint/chunk that issued the store, if speculative.
+    checkpoint_id: Optional[int] = None
+    insertion_order: int = 0
+
+
+class StoreBufferBase:
+    """Shared bookkeeping for both store buffer organisations."""
+
+    def __init__(self, config: StoreBufferConfig) -> None:
+        self._config = config
+        self._entries: List[StoreBufferEntry] = []
+        self._insertions = 0
+        self.peak_occupancy = 0
+        self.total_inserted = 0
+        self.flash_invalidated = 0
+
+    # -- granularity hook ---------------------------------------------------
+
+    def _buffer_address(self, addr: int) -> int:
+        raise NotImplementedError
+
+    # -- housekeeping --------------------------------------------------------
+
+    @property
+    def config(self) -> StoreBufferConfig:
+        return self._config
+
+    @property
+    def capacity(self) -> int:
+        return self._config.entries
+
+    def _live(self, now: int) -> List[StoreBufferEntry]:
+        """Entries still resident at time ``now`` (non-destructive)."""
+        return [e for e in self._entries if e.release_time > now]
+
+    def _purge(self, now: int) -> None:
+        """Physically drop entries released at or before ``now``.
+
+        Only called from :meth:`add_store` with the inserting core's clock,
+        which never runs ahead of the queries that other components may make
+        about the present.
+        """
+        if self._entries:
+            self._entries = [e for e in self._entries if e.release_time > now]
+
+    def occupancy(self, now: int) -> int:
+        return len(self._live(now))
+
+    def is_empty(self, now: int) -> bool:
+        return self.occupancy(now) == 0
+
+    def is_full(self, now: int) -> bool:
+        return self.occupancy(now) >= self.capacity
+
+    def entries(self, now: Optional[int] = None) -> List[StoreBufferEntry]:
+        if now is None:
+            return list(self._entries)
+        return self._live(now)
+
+    # -- timing queries -------------------------------------------------------
+
+    def drain_time(self, now: int) -> int:
+        """Time at which the buffer will be empty, given current contents."""
+        live = self._live(now)
+        if not live:
+            return now
+        return max(e.release_time for e in live)
+
+    def next_free_slot_time(self, now: int) -> int:
+        """Earliest time at which at least one entry will be free."""
+        live = self._live(now)
+        if len(live) < self.capacity:
+            return now
+        return min(e.release_time for e in live)
+
+    def drain_time_for_checkpoint(self, checkpoint_id: int, now: int) -> int:
+        """Time at which all stores issued by one checkpoint have completed."""
+        times = [e.release_time for e in self._live(now)
+                 if e.speculative and e.checkpoint_id == checkpoint_id]
+        return max(times) if times else now
+
+    def has_block(self, addr: int, now: int) -> bool:
+        """True when any live entry covers ``addr`` at this buffer's granularity."""
+        baddr = self._buffer_address(addr)
+        return any(e.address == baddr for e in self._live(now))
+
+    # -- speculation support ---------------------------------------------------
+
+    def flash_invalidate_speculative(self, now: int,
+                                     checkpoint_id: Optional[int] = None) -> int:
+        """Drop speculative entries (abort path); returns number dropped."""
+        live = self._live(now)
+
+        def doomed(entry: StoreBufferEntry) -> bool:
+            if not entry.speculative or entry not in live:
+                return False
+            return checkpoint_id is None or entry.checkpoint_id == checkpoint_id
+
+        before = len(self._entries)
+        self._entries = [e for e in self._entries if not doomed(e)]
+        dropped = before - len(self._entries)
+        self.flash_invalidated += dropped
+        return dropped
+
+    def mark_all_non_speculative(self, now: int,
+                                 checkpoint_id: Optional[int] = None) -> None:
+        """Commit path: buffered speculative stores become ordinary stores."""
+        for entry in self._entries:
+            if entry.speculative and (checkpoint_id is None
+                                      or entry.checkpoint_id == checkpoint_id):
+                entry.speculative = False
+                entry.checkpoint_id = None
+
+    # -- insertion -------------------------------------------------------------
+
+    def add_store(self, addr: int, now: int, completion_time: int,
+                  speculative: bool = False,
+                  checkpoint_id: Optional[int] = None) -> StoreBufferEntry:
+        """Insert a store; the caller must have checked capacity first."""
+        raise NotImplementedError
+
+    def _record_insertion(self, entry: StoreBufferEntry, now: int) -> None:
+        self._insertions += 1
+        self.total_inserted += 1
+        self._entries.append(entry)
+        self.peak_occupancy = max(self.peak_occupancy, self.occupancy(now))
+
+
+class FIFOStoreBuffer(StoreBufferBase):
+    """Word-granularity, age-ordered store buffer (conventional SC/TSO)."""
+
+    def __init__(self, config: StoreBufferConfig) -> None:
+        if config.kind is not StoreBufferKind.FIFO_WORD:
+            raise StoreBufferError("FIFOStoreBuffer requires a FIFO_WORD configuration")
+        super().__init__(config)
+
+    def _buffer_address(self, addr: int) -> int:
+        return word_address(addr)
+
+    def add_store(self, addr: int, now: int, completion_time: int,
+                  speculative: bool = False,
+                  checkpoint_id: Optional[int] = None) -> StoreBufferEntry:
+        if self.is_full(now):
+            raise StoreBufferError("FIFO store buffer overflow; check is_full first")
+        # FIFO ordering: an entry can only be released after every older
+        # entry has been released, so the release time is the running
+        # maximum of completion times in insertion order.
+        previous_release = max((e.release_time for e in self._entries), default=now)
+        self._purge(now)
+        release = max(completion_time, previous_release)
+        entry = StoreBufferEntry(address=self._buffer_address(addr),
+                                 completion_time=completion_time,
+                                 release_time=release,
+                                 speculative=speculative,
+                                 checkpoint_id=checkpoint_id,
+                                 insertion_order=self._insertions)
+        self._record_insertion(entry, now)
+        return entry
+
+
+class CoalescingStoreBuffer(StoreBufferBase):
+    """Block-granularity, unordered store buffer (RMO / InvisiFence)."""
+
+    def __init__(self, config: StoreBufferConfig) -> None:
+        if config.kind is not StoreBufferKind.COALESCING_BLOCK:
+            raise StoreBufferError(
+                "CoalescingStoreBuffer requires a COALESCING_BLOCK configuration"
+            )
+        super().__init__(config)
+        self.coalesced = 0
+
+    def _buffer_address(self, addr: int) -> int:
+        return block_address(addr, self._config.entry_bytes)
+
+    def find(self, addr: int, now: int, speculative: bool) -> Optional[StoreBufferEntry]:
+        """Find an existing live entry this store may coalesce into."""
+        baddr = self._buffer_address(addr)
+        for entry in self._live(now):
+            if entry.address == baddr and entry.speculative == speculative:
+                return entry
+        return None
+
+    def add_store(self, addr: int, now: int, completion_time: int,
+                  speculative: bool = False,
+                  checkpoint_id: Optional[int] = None) -> StoreBufferEntry:
+        existing = self.find(addr, now, speculative)
+        if existing is not None:
+            # Coalesce: the entry's lifetime covers the latest completion.
+            self.coalesced += 1
+            existing.completion_time = max(existing.completion_time, completion_time)
+            existing.release_time = max(existing.release_time, completion_time)
+            return existing
+        if self.is_full(now):
+            raise StoreBufferError(
+                "coalescing store buffer overflow; check is_full first"
+            )
+        self._purge(now)
+        entry = StoreBufferEntry(address=self._buffer_address(addr),
+                                 completion_time=completion_time,
+                                 release_time=completion_time,
+                                 speculative=speculative,
+                                 checkpoint_id=checkpoint_id,
+                                 insertion_order=self._insertions)
+        self._record_insertion(entry, now)
+        return entry
+
+
+def make_store_buffer(config: StoreBufferConfig) -> StoreBufferBase:
+    """Instantiate the store buffer matching ``config``."""
+    if config.kind is StoreBufferKind.FIFO_WORD:
+        return FIFOStoreBuffer(config)
+    return CoalescingStoreBuffer(config)

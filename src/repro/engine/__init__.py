@@ -1,0 +1,17 @@
+"""Simulation engine: event queue, system builder, simulator, results."""
+
+from .events import Event, EventQueue
+from .results import RunResult, aggregate_breakdown
+from .system import System, build_system
+from .simulator import Simulator, simulate
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "RunResult",
+    "aggregate_breakdown",
+    "System",
+    "build_system",
+    "Simulator",
+    "simulate",
+]

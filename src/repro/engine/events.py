@@ -1,0 +1,96 @@
+"""Discrete-event queue.
+
+A minimal binary-heap event queue: events are ``(time, sequence, callback)``
+tuples; ties in time are broken by insertion order so the simulation is
+deterministic.  Events can be cancelled; cancelled events are skipped when
+popped.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+#: An event callback receives the event's firing time as its only argument.
+EventCallback = Callable[[int], None]
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback."""
+
+    time: int
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventQueue:
+    """Deterministic min-heap of events."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._sequence = 0
+        self._now = 0
+        self.processed = 0
+
+    @property
+    def now(self) -> int:
+        """Time of the most recently popped event."""
+        return self._now
+
+    def schedule(self, time: int, callback: EventCallback) -> Event:
+        """Schedule ``callback`` to run at ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event at {time}, current time is {self._now}"
+            )
+        event = Event(time=time, sequence=self._sequence, callback=callback)
+        self._sequence += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def empty(self) -> bool:
+        return not any(not e.cancelled for e in self._heap)
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next non-cancelled event, or ``None``."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.processed += 1
+            return event
+        return None
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Process events until the queue is empty (or a bound is reached).
+
+        Returns the number of events processed by this call.
+        """
+        count = 0
+        while True:
+            if max_events is not None and count >= max_events:
+                break
+            while self._heap and self._heap[0].cancelled:
+                heapq.heappop(self._heap)
+            if not self._heap:
+                break
+            if until is not None and self._heap[0].time > until:
+                break
+            event = self.pop()
+            if event is None:
+                break
+            event.callback(event.time)
+            count += 1
+        return count

@@ -1,0 +1,108 @@
+"""Simulation results and aggregation helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..config import SystemConfig
+from ..cpu.stats import BREAKDOWN_COMPONENTS, CoreStats
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulation run."""
+
+    config: SystemConfig
+    workload: str
+    core_stats: List[CoreStats]
+    #: total runtime in cycles (time at which the last core finished).
+    runtime: int
+    #: number of events processed (engine diagnostic).
+    events_processed: int = 0
+    seed: Optional[int] = None
+
+    # -- aggregate views -----------------------------------------------------
+
+    def aggregate(self) -> CoreStats:
+        """Sum of all per-core counters."""
+        total = CoreStats()
+        for stats in self.core_stats:
+            total.merge(stats)
+        return total
+
+    def breakdown(self, normalize: bool = False) -> Dict[str, float]:
+        """Cycle breakdown summed over cores, optionally as fractions."""
+        total = self.aggregate()
+        values = {name: float(getattr(total, name)) for name in BREAKDOWN_COMPONENTS}
+        if normalize:
+            denom = sum(values.values())
+            if denom > 0:
+                values = {k: v / denom for k, v in values.items()}
+        return values
+
+    def cycles_per_core(self) -> float:
+        """Average accounted cycles per core (a runtime proxy that is
+        insensitive to end-of-trace idling on non-critical cores)."""
+        if not self.core_stats:
+            return 0.0
+        return sum(s.total_accounted() for s in self.core_stats) / len(self.core_stats)
+
+    def ordering_stall_fraction(self) -> float:
+        """Fraction of accounted cycles lost to memory ordering (Figure 1)."""
+        total = self.aggregate()
+        accounted = total.total_accounted()
+        if accounted == 0:
+            return 0.0
+        return total.ordering_stall_cycles() / accounted
+
+    def speculation_fraction(self) -> float:
+        """Fraction of accounted cycles spent speculating (Figure 10)."""
+        total = self.aggregate()
+        accounted = total.total_accounted()
+        if accounted == 0:
+            return 0.0
+        return min(1.0, total.spec_cycles / accounted)
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """Speedup of this run relative to ``baseline`` (same workload)."""
+        if self.cycles_per_core() == 0:
+            return 0.0
+        return baseline.cycles_per_core() / self.cycles_per_core()
+
+    def summary(self) -> Dict[str, float]:
+        """Flat summary used by reports and benchmark assertions."""
+        total = self.aggregate()
+        out: Dict[str, float] = {
+            "runtime": float(self.runtime),
+            "cycles_per_core": self.cycles_per_core(),
+            "ordering_stall_fraction": self.ordering_stall_fraction(),
+            "speculation_fraction": self.speculation_fraction(),
+            "commits": float(total.commits),
+            "aborts": float(total.aborts),
+            "speculations": float(total.speculations),
+        }
+        out.update({name: float(getattr(total, name)) for name in BREAKDOWN_COMPONENTS})
+        return out
+
+
+def aggregate_breakdown(results: List[RunResult],
+                        normalize_to: Optional[RunResult] = None) -> Dict[str, float]:
+    """Average the breakdowns of several runs (e.g. different seeds).
+
+    When ``normalize_to`` is given, each component is expressed as a
+    fraction of that run's total accounted cycles (the paper's
+    "% of cycles normalised to sc" presentation).
+    """
+    if not results:
+        return {name: 0.0 for name in BREAKDOWN_COMPONENTS}
+    denom = None
+    if normalize_to is not None:
+        denom = sum(normalize_to.breakdown().values())
+    combined: Dict[str, float] = {name: 0.0 for name in BREAKDOWN_COMPONENTS}
+    for result in results:
+        values = result.breakdown()
+        scale = denom if denom else sum(values.values())
+        for name in BREAKDOWN_COMPONENTS:
+            combined[name] += (values[name] / scale) if scale else 0.0
+    return {name: value / len(results) for name, value in combined.items()}

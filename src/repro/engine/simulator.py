@@ -1,0 +1,61 @@
+"""Simulation driver."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import SystemConfig
+from ..errors import SimulationError
+from ..trace.trace import MultiThreadedTrace
+from .results import RunResult
+from .system import System, build_system
+
+#: Hard cap on processed events, as a runaway-simulation backstop.  The cap
+#: scales with trace size inside :class:`Simulator`.  It is generous because
+#: continuous speculation under heavy contention can replay the same
+#: operations many times before making progress.
+_EVENTS_PER_OP_LIMIT = 512
+
+
+class Simulator:
+    """Runs a :class:`~repro.engine.system.System` to completion."""
+
+    def __init__(self, system: System) -> None:
+        self.system = system
+
+    def run(self, max_events: Optional[int] = None) -> RunResult:
+        """Run until every core has finished its trace."""
+        system = self.system
+        if max_events is None:
+            total_ops = sum(len(core.trace) for core in system.cores)
+            max_events = max(10_000, _EVENTS_PER_OP_LIMIT * total_ops)
+        system.start()
+        processed = 0
+        while not system.finished:
+            count = system.events.run(max_events=max_events - processed)
+            processed += count
+            if system.finished:
+                break
+            if count == 0 or processed >= max_events:
+                unfinished = [c.core_id for c in system.cores if not c.finished]
+                raise SimulationError(
+                    f"simulation stalled with cores {unfinished} unfinished "
+                    f"after {processed} events"
+                )
+        return RunResult(
+            config=system.config,
+            workload=system.workload_name,
+            core_stats=[core.stats for core in system.cores],
+            runtime=system.finish_time(),
+            events_processed=processed,
+        )
+
+
+def simulate(config: SystemConfig, trace: MultiThreadedTrace,
+             max_events: Optional[int] = None,
+             warmup_fraction: float = 0.0) -> RunResult:
+    """Convenience wrapper: build a system for ``trace`` and run it."""
+    system = build_system(config, trace, warmup_fraction=warmup_fraction)
+    result = Simulator(system).run(max_events=max_events)
+    result.seed = trace.seed
+    return result

@@ -1,0 +1,102 @@
+"""System construction: wire cores, controllers, and the memory system.
+
+:func:`build_system` assembles a complete simulated machine from a
+:class:`~repro.config.SystemConfig` and a multi-threaded trace, choosing
+the consistency controller implied by the configuration's speculation
+mode:
+
+==============  =====================================================
+Speculation     Controller
+==============  =====================================================
+``none``        conventional SC / TSO / RMO (Section 2.1)
+``selective``   :class:`repro.core.selective.InvisiFenceSelective`
+``continuous``  :class:`repro.core.continuous.InvisiFenceContinuous`
+``aso``         :class:`repro.aso.controller.ASOController`
+==============  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..aso.controller import ASOController
+from ..coherence.memory_system import MemorySystem
+from ..config import SpeculationMode, SystemConfig
+from ..consistency.base import ConsistencyController
+from ..consistency.conventional import conventional_controller
+from ..core.continuous import InvisiFenceContinuous
+from ..core.selective import InvisiFenceSelective
+from ..cpu.core import Core
+from ..errors import ConfigurationError
+from ..trace.trace import MultiThreadedTrace
+from .events import EventQueue
+
+
+def make_controller(core: Core) -> ConsistencyController:
+    """Instantiate the controller selected by the core's configuration."""
+    mode = core.config.speculation.mode
+    if mode is SpeculationMode.NONE:
+        return conventional_controller(core)
+    if mode is SpeculationMode.SELECTIVE:
+        return InvisiFenceSelective(core)
+    if mode is SpeculationMode.CONTINUOUS:
+        return InvisiFenceContinuous(core)
+    if mode is SpeculationMode.ASO:
+        return ASOController(core)
+    raise ConfigurationError(f"unknown speculation mode {mode}")  # pragma: no cover
+
+
+@dataclass
+class System:
+    """A fully wired simulated machine."""
+
+    config: SystemConfig
+    events: EventQueue
+    memory: MemorySystem
+    cores: List[Core]
+    workload_name: str = "anonymous"
+
+    def start(self) -> None:
+        """Schedule the first step of every core."""
+        for core in self.cores:
+            core.start(at=0)
+
+    @property
+    def finished(self) -> bool:
+        return all(core.finished for core in self.cores)
+
+    def finish_time(self) -> int:
+        return max((core.finish_time or 0) for core in self.cores)
+
+
+def build_system(config: SystemConfig, trace: MultiThreadedTrace,
+                 warmup_fraction: float = 0.0) -> System:
+    """Build a system running ``trace`` under ``config``.
+
+    The trace must provide at least as many threads as the configuration
+    has cores; extra threads are ignored (with fewer threads than cores,
+    the surplus cores simply stay idle).  ``warmup_fraction`` of each
+    thread's leading operations are executed but excluded from the
+    statistics (cache warmup).
+    """
+    if trace.num_threads < config.num_cores:
+        raise ConfigurationError(
+            f"workload {trace.name!r} has {trace.num_threads} threads but the "
+            f"system is configured with {config.num_cores} cores"
+        )
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ConfigurationError("warmup_fraction must lie in [0, 1)")
+    events = EventQueue()
+    memory = MemorySystem(config)
+    cores: List[Core] = []
+    for core_id in range(config.num_cores):
+        thread_trace = trace[core_id]
+        warmup_ops = int(len(thread_trace) * warmup_fraction)
+        core = Core(core_id, thread_trace, config, memory, events,
+                    warmup_ops=warmup_ops)
+        controller = make_controller(core)
+        core.attach_controller(controller)
+        cores.append(core)
+    return System(config=config, events=events, memory=memory, cores=cores,
+                  workload_name=trace.name)

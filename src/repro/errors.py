@@ -1,0 +1,39 @@
+"""Exception hierarchy for the InvisiFence reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated exceptions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is internally inconsistent or out of range."""
+
+
+class TraceError(ReproError):
+    """A trace or trace operation is malformed."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""
+
+
+class CoherenceError(SimulationError):
+    """The coherence protocol observed an illegal state transition."""
+
+
+class StoreBufferError(SimulationError):
+    """A store buffer was used in a way that violates its invariants."""
+
+
+class SpeculationError(SimulationError):
+    """The speculation machinery (checkpoints, spec bits) was misused."""
+
+
+class WorkloadError(ReproError):
+    """A workload specification or generator is invalid."""

@@ -1,0 +1,169 @@
+"""Ablation studies for the design choices the paper calls out.
+
+Two sensitivity studies are mentioned in the paper but not plotted:
+
+* **Store-buffer capacity** (Section 6.1): "We performed sensitivity studies
+  (not shown) to determine store buffer capacities for InvisiFence that
+  provide performance close to that of a store buffer of unbounded capacity.
+  For InvisiFence configurations that employ a single checkpoint, a store
+  buffer with eight entries suffices."  :func:`run_store_buffer_ablation`
+  sweeps the coalescing-buffer size for single-checkpoint
+  InvisiFence-Selective and reports the runtime relative to the largest size
+  in the sweep.
+
+* **Commit-on-violate timeout** (Section 3.2 / 6.6): the paper fixes the
+  deferral window at 4000 cycles.  :func:`run_cov_timeout_ablation` sweeps
+  the timeout for InvisiFence-Continuous with CoV and reports runtime,
+  violation cycles, and how the conflicts were resolved, showing the
+  saturation behaviour that justifies the choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..config import (
+    ConsistencyModel,
+    SpeculationConfig,
+    SpeculationMode,
+    StoreBufferConfig,
+    StoreBufferKind,
+    ViolationPolicy,
+    paper_config,
+)
+from ..engine.simulator import simulate
+from ..stats.report import format_table
+from .common import ExperimentRunner, ExperimentSettings
+
+DEFAULT_SB_SIZES = (1, 2, 4, 8, 16, 32, 64)
+DEFAULT_COV_TIMEOUTS = (0, 250, 1000, 4000, 16000)
+
+
+@dataclass
+class StoreBufferAblationResult:
+    """Runtime of InvisiFence-Selective versus coalescing-buffer capacity."""
+
+    settings: ExperimentSettings
+    workload: str
+    #: {entries: cycles per core}
+    cycles: Dict[int, float] = field(default_factory=dict)
+    #: {entries: SB-full cycles summed over cores}
+    sb_full: Dict[int, float] = field(default_factory=dict)
+
+    def relative_runtime(self) -> Dict[int, float]:
+        """Runtime normalised to the largest (most generous) capacity."""
+        if not self.cycles:
+            return {}
+        best = self.cycles[max(self.cycles)]
+        return {entries: value / best for entries, value in self.cycles.items()}
+
+    def smallest_sufficient_capacity(self, tolerance: float = 0.02) -> int:
+        """Smallest capacity within ``tolerance`` of the unbounded runtime."""
+        relative = self.relative_runtime()
+        for entries in sorted(relative):
+            if relative[entries] <= 1.0 + tolerance:
+                return entries
+        return max(relative)
+
+    def format(self) -> str:
+        relative = self.relative_runtime()
+        rows = [[entries, round(self.cycles[entries]), round(relative[entries], 3),
+                 round(self.sb_full[entries])]
+                for entries in sorted(self.cycles)]
+        return format_table(
+            ["SB entries", "cycles/core", "runtime vs largest", "SB-full cycles"],
+            rows,
+            title=f"Ablation: coalescing store-buffer capacity "
+                  f"(InvisiFence-Selective SC, {self.workload})")
+
+
+def run_store_buffer_ablation(
+    settings: Optional[ExperimentSettings] = None,
+    workload: str = "apache",
+    sizes: Sequence[int] = DEFAULT_SB_SIZES,
+    runner: Optional[ExperimentRunner] = None,
+) -> StoreBufferAblationResult:
+    """Sweep the store-buffer capacity of single-checkpoint InvisiFence."""
+    settings = settings or ExperimentSettings()
+    runner = runner or ExperimentRunner(settings)
+    trace = runner.trace(workload, settings.seeds[0])
+    result = StoreBufferAblationResult(settings=settings, workload=workload)
+    for entries in sizes:
+        config = paper_config(
+            ConsistencyModel.SC,
+            SpeculationConfig(mode=SpeculationMode.SELECTIVE),
+            num_cores=settings.num_cores,
+        ).replace(store_buffer=StoreBufferConfig(StoreBufferKind.COALESCING_BLOCK,
+                                                 entries, 64))
+        run = simulate(config, trace, warmup_fraction=settings.warmup_fraction)
+        result.cycles[entries] = run.cycles_per_core()
+        result.sb_full[entries] = float(run.aggregate().sb_full)
+    return result
+
+
+@dataclass
+class CovTimeoutAblationResult:
+    """Behaviour of continuous speculation versus the CoV timeout."""
+
+    settings: ExperimentSettings
+    workload: str
+    #: {timeout: cycles per core}; timeout 0 means the abort-immediately policy.
+    cycles: Dict[int, float] = field(default_factory=dict)
+    #: {timeout: (aborts, cov_commits, violation cycles)}
+    outcomes: Dict[int, Tuple[int, int, int]] = field(default_factory=dict)
+
+    def relative_runtime(self) -> Dict[int, float]:
+        if not self.cycles:
+            return {}
+        baseline = self.cycles[min(self.cycles)]
+        return {t: v / baseline for t, v in self.cycles.items()}
+
+    def format(self) -> str:
+        relative = self.relative_runtime()
+        rows = []
+        for timeout in sorted(self.cycles):
+            aborts, cov_commits, violation = self.outcomes[timeout]
+            label = "abort-immediately" if timeout == 0 else str(timeout)
+            rows.append([label, round(self.cycles[timeout]),
+                         round(relative[timeout], 3), aborts, cov_commits,
+                         violation])
+        return format_table(
+            ["CoV timeout", "cycles/core", "runtime vs abort", "aborts",
+             "CoV commits", "violation cycles"],
+            rows,
+            title=f"Ablation: commit-on-violate timeout "
+                  f"(InvisiFence-Continuous, {self.workload})")
+
+
+def run_cov_timeout_ablation(
+    settings: Optional[ExperimentSettings] = None,
+    workload: str = "apache",
+    timeouts: Sequence[int] = DEFAULT_COV_TIMEOUTS,
+    runner: Optional[ExperimentRunner] = None,
+) -> CovTimeoutAblationResult:
+    """Sweep the commit-on-violate deferral window for continuous speculation.
+
+    A timeout of ``0`` selects the plain abort-immediately policy and serves
+    as the baseline row.
+    """
+    settings = settings or ExperimentSettings()
+    runner = runner or ExperimentRunner(settings)
+    trace = runner.trace(workload, settings.seeds[0])
+    result = CovTimeoutAblationResult(settings=settings, workload=workload)
+    for timeout in timeouts:
+        if timeout == 0:
+            spec = SpeculationConfig(mode=SpeculationMode.CONTINUOUS,
+                                     num_checkpoints=2,
+                                     violation_policy=ViolationPolicy.ABORT)
+        else:
+            spec = SpeculationConfig(mode=SpeculationMode.CONTINUOUS,
+                                     num_checkpoints=2,
+                                     violation_policy=ViolationPolicy.COMMIT_ON_VIOLATE,
+                                     cov_timeout=timeout)
+        config = paper_config(ConsistencyModel.SC, spec, num_cores=settings.num_cores)
+        run = simulate(config, trace, warmup_fraction=settings.warmup_fraction)
+        stats = run.aggregate()
+        result.cycles[timeout] = run.cycles_per_core()
+        result.outcomes[timeout] = (stats.aborts, stats.cov_commits, stats.violation)
+    return result

@@ -1,0 +1,189 @@
+"""Shared experiment machinery: configurations, settings, and a cached runner.
+
+The machine configurations evaluated by the paper are referred to by short
+names throughout the experiment drivers and benchmarks:
+
+==================  =========================================================
+name                meaning
+==================  =========================================================
+``sc``              conventional SC (word FIFO store buffer)
+``tso``             conventional TSO
+``rmo``             conventional RMO (coalescing store buffer)
+``invisi_sc``       InvisiFence-Selective enforcing SC, one checkpoint
+``invisi_tso``      InvisiFence-Selective enforcing TSO
+``invisi_rmo``      InvisiFence-Selective enforcing RMO
+``invisi_sc_2ckpt`` InvisiFence-Selective (SC) with two checkpoints
+``aso_sc``          the ASO baseline (ASOsc)
+``invisi_cont``     InvisiFence-Continuous, abort-immediately policy
+``invisi_cont_cov`` InvisiFence-Continuous with commit-on-violate
+==================  =========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import (
+    ConsistencyModel,
+    SpeculationConfig,
+    SpeculationMode,
+    SystemConfig,
+    ViolationPolicy,
+    paper_config,
+)
+from ..engine.results import RunResult
+from ..engine.simulator import simulate
+from ..errors import ConfigurationError
+from ..trace.trace import MultiThreadedTrace
+from ..workloads.presets import workload_names
+from ..workloads.registry import build_trace
+
+#: All configuration short-names understood by :func:`make_config`.
+CONFIG_NAMES = (
+    "sc", "tso", "rmo",
+    "invisi_sc", "invisi_tso", "invisi_rmo",
+    "invisi_sc_2ckpt", "aso_sc",
+    "invisi_cont", "invisi_cont_cov",
+)
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Scale and scope of an experiment run."""
+
+    num_cores: int = 16
+    ops_per_thread: int = 20_000
+    seeds: Tuple[int, ...] = (1,)
+    workloads: Tuple[str, ...] = tuple(workload_names())
+    #: commit-on-violate timeout (paper: 4000 cycles).
+    cov_timeout: int = 4000
+    #: leading fraction of each trace excluded from statistics (cache warmup).
+    warmup_fraction: float = 0.2
+
+    @classmethod
+    def quick(cls, num_cores: int = 8, ops_per_thread: int = 4_000,
+              workloads: Optional[Sequence[str]] = None,
+              seeds: Sequence[int] = (1,)) -> "ExperimentSettings":
+        """A scaled-down setup for tests and the benchmark harness."""
+        return cls(num_cores=num_cores, ops_per_thread=ops_per_thread,
+                   seeds=tuple(seeds),
+                   workloads=tuple(workloads) if workloads is not None
+                   else tuple(workload_names()))
+
+
+def make_config(name: str, settings: ExperimentSettings) -> SystemConfig:
+    """Build the :class:`SystemConfig` for a configuration short-name."""
+    cores = settings.num_cores
+    cov = settings.cov_timeout
+    if name == "sc":
+        return paper_config(ConsistencyModel.SC, num_cores=cores)
+    if name == "tso":
+        return paper_config(ConsistencyModel.TSO, num_cores=cores)
+    if name == "rmo":
+        return paper_config(ConsistencyModel.RMO, num_cores=cores)
+    if name == "invisi_sc":
+        return paper_config(ConsistencyModel.SC,
+                            SpeculationConfig(mode=SpeculationMode.SELECTIVE),
+                            num_cores=cores)
+    if name == "invisi_tso":
+        return paper_config(ConsistencyModel.TSO,
+                            SpeculationConfig(mode=SpeculationMode.SELECTIVE),
+                            num_cores=cores)
+    if name == "invisi_rmo":
+        return paper_config(ConsistencyModel.RMO,
+                            SpeculationConfig(mode=SpeculationMode.SELECTIVE),
+                            num_cores=cores)
+    if name == "invisi_sc_2ckpt":
+        return paper_config(ConsistencyModel.SC,
+                            SpeculationConfig(mode=SpeculationMode.SELECTIVE,
+                                              num_checkpoints=2),
+                            num_cores=cores)
+    if name == "aso_sc":
+        return paper_config(ConsistencyModel.SC,
+                            SpeculationConfig(mode=SpeculationMode.ASO,
+                                              num_checkpoints=2),
+                            num_cores=cores)
+    if name == "invisi_cont":
+        return paper_config(ConsistencyModel.SC,
+                            SpeculationConfig(mode=SpeculationMode.CONTINUOUS,
+                                              num_checkpoints=2),
+                            num_cores=cores)
+    if name == "invisi_cont_cov":
+        return paper_config(ConsistencyModel.SC,
+                            SpeculationConfig(mode=SpeculationMode.CONTINUOUS,
+                                              num_checkpoints=2,
+                                              violation_policy=ViolationPolicy.COMMIT_ON_VIOLATE,
+                                              cov_timeout=cov),
+                            num_cores=cores)
+    raise ConfigurationError(
+        f"unknown configuration {name!r}; known: {', '.join(CONFIG_NAMES)}"
+    )
+
+
+class ExperimentRunner:
+    """Runs (configuration, workload, seed) combinations with caching.
+
+    Several figures share configurations (e.g. the ``sc`` baseline appears
+    in Figures 1, 8, 9, and 12); a shared runner avoids re-simulating them.
+    Traces are also cached per (workload, seed).
+    """
+
+    def __init__(self, settings: ExperimentSettings) -> None:
+        self.settings = settings
+        self._traces: Dict[Tuple[str, int], MultiThreadedTrace] = {}
+        self._results: Dict[Tuple[str, str, int], RunResult] = {}
+
+    # -- building blocks ----------------------------------------------------
+
+    def trace(self, workload: str, seed: int) -> MultiThreadedTrace:
+        key = (workload, seed)
+        if key not in self._traces:
+            self._traces[key] = build_trace(
+                workload, num_threads=self.settings.num_cores,
+                ops_per_thread=self.settings.ops_per_thread, seed=seed)
+        return self._traces[key]
+
+    def run(self, config_name: str, workload: str, seed: int) -> RunResult:
+        key = (config_name, workload, seed)
+        if key not in self._results:
+            config = make_config(config_name, self.settings)
+            self._results[key] = simulate(
+                config, self.trace(workload, seed),
+                warmup_fraction=self.settings.warmup_fraction)
+        return self._results[key]
+
+    # -- convenience aggregations ---------------------------------------------
+
+    def run_all_seeds(self, config_name: str, workload: str) -> List[RunResult]:
+        return [self.run(config_name, workload, seed) for seed in self.settings.seeds]
+
+    def mean_cycles(self, config_name: str, workload: str) -> float:
+        runs = self.run_all_seeds(config_name, workload)
+        return sum(r.cycles_per_core() for r in runs) / len(runs)
+
+    def mean_breakdown(self, config_name: str, workload: str) -> Dict[str, float]:
+        runs = self.run_all_seeds(config_name, workload)
+        combined: Dict[str, float] = {}
+        for run in runs:
+            for component, value in run.breakdown().items():
+                combined[component] = combined.get(component, 0.0) + value / len(runs)
+        return combined
+
+    def speedup(self, config_name: str, workload: str, baseline: str) -> float:
+        base = self.mean_cycles(baseline, workload)
+        mine = self.mean_cycles(config_name, workload)
+        return base / mine if mine else 0.0
+
+    def normalized_breakdown(self, config_name: str, workload: str,
+                             baseline: str) -> Dict[str, float]:
+        """Breakdown of ``config_name`` as % of the baseline's runtime."""
+        base_total = sum(self.mean_breakdown(baseline, workload).values())
+        values = self.mean_breakdown(config_name, workload)
+        if base_total <= 0:
+            return {k: 0.0 for k in values}
+        return {k: 100.0 * v / base_total for k, v in values.items()}
+
+    def speculation_fraction(self, config_name: str, workload: str) -> float:
+        runs = self.run_all_seeds(config_name, workload)
+        return sum(r.speculation_fraction() for r in runs) / len(runs)

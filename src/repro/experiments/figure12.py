@@ -1,0 +1,61 @@
+"""Figure 12: continuous speculation and the commit-on-violate policy.
+
+Five configurations per workload, normalised to conventional SC's runtime:
+SC, InvisiFence-Continuous (abort-immediately), conventional RMO,
+InvisiFence-Continuous with commit-on-violate, and InvisiFence-Selective
+enforcing RMO.  Expected shape (paper Sections 6.5/6.6): continuous
+speculation beats SC on average but suffers enough violation cycles to fall
+behind RMO (and occasionally behind SC); commit-on-violate removes most of
+those violation cycles, bringing continuous speculation to within a few
+percent of Invisi_rmo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..cpu.stats import BREAKDOWN_COMPONENTS
+from ..stats.report import format_breakdown_table
+from .common import ExperimentRunner, ExperimentSettings
+
+FIGURE12_CONFIGS = ("sc", "invisi_cont", "rmo", "invisi_cont_cov", "invisi_rmo")
+
+
+@dataclass
+class Figure12Result:
+    """Runtime breakdowns normalised to conventional SC."""
+
+    settings: ExperimentSettings
+    #: {workload: {config: {component: % of SC runtime}}}
+    breakdowns: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+
+    def total(self, workload: str, config: str) -> float:
+        return sum(self.breakdowns[workload][config].values())
+
+    def average_total(self, config: str) -> float:
+        totals = [self.total(w, config) for w in self.breakdowns]
+        return sum(totals) / len(totals) if totals else 0.0
+
+    def violation_cycles(self, workload: str, config: str) -> float:
+        return self.breakdowns[workload][config]["violation"]
+
+    def format(self) -> str:
+        return format_breakdown_table(
+            self.breakdowns, BREAKDOWN_COMPONENTS,
+            title="Figure 12: runtime of SC, Invisi_cont, RMO, Invisi_cont_CoV "
+                  "and Invisi_rmo, % of SC runtime")
+
+
+def run_figure12(settings: Optional[ExperimentSettings] = None,
+                 runner: Optional[ExperimentRunner] = None) -> Figure12Result:
+    """Regenerate Figure 12."""
+    settings = settings or ExperimentSettings()
+    runner = runner or ExperimentRunner(settings)
+    result = Figure12Result(settings=settings)
+    for workload in settings.workloads:
+        result.breakdowns[workload] = {}
+        for config in FIGURE12_CONFIGS:
+            result.breakdowns[workload][config] = runner.normalized_breakdown(
+                config, workload, baseline="sc")
+    return result

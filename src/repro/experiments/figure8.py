@@ -1,0 +1,61 @@
+"""Figure 8: speedups of InvisiFence over conventional implementations.
+
+For every workload, six configurations are compared against conventional
+SC: conventional SC/TSO/RMO and InvisiFence-Selective enforcing SC, TSO,
+and RMO.  Expected shape (paper Section 6.2/6.3): TSO beats SC by roughly
+a quarter, RMO adds a smaller increment, and every InvisiFence variant
+matches or exceeds conventional RMO, with Invisi_rmo the fastest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..stats.confidence import ConfidenceInterval, mean_confidence_interval
+from ..stats.report import format_series_table
+from .common import ExperimentRunner, ExperimentSettings
+
+FIGURE8_CONFIGS = ("sc", "tso", "rmo", "invisi_sc", "invisi_tso", "invisi_rmo")
+
+
+@dataclass
+class Figure8Result:
+    """Speedups over conventional SC, per workload and configuration."""
+
+    settings: ExperimentSettings
+    #: {workload: {config: speedup}}
+    speedups: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: {workload: {config: 95% CI}} (only meaningful with several seeds).
+    intervals: Dict[str, Dict[str, ConfidenceInterval]] = field(default_factory=dict)
+
+    def average_speedup(self, config: str) -> float:
+        values = [w[config] for w in self.speedups.values()]
+        return sum(values) / len(values) if values else 0.0
+
+    def format(self) -> str:
+        table = dict(self.speedups)
+        table["(average)"] = {c: self.average_speedup(c) for c in FIGURE8_CONFIGS}
+        return format_series_table(
+            table, title="Figure 8: speedup over conventional SC (higher is better)")
+
+
+def run_figure8(settings: Optional[ExperimentSettings] = None,
+                runner: Optional[ExperimentRunner] = None) -> Figure8Result:
+    """Regenerate Figure 8."""
+    settings = settings or ExperimentSettings()
+    runner = runner or ExperimentRunner(settings)
+    result = Figure8Result(settings=settings)
+    for workload in settings.workloads:
+        result.speedups[workload] = {}
+        result.intervals[workload] = {}
+        baseline_runs = runner.run_all_seeds("sc", workload)
+        baseline_by_seed = {run.seed: run.cycles_per_core() for run in baseline_runs}
+        for config in FIGURE8_CONFIGS:
+            runs = runner.run_all_seeds(config, workload)
+            per_seed = [baseline_by_seed[run.seed] / run.cycles_per_core()
+                        for run in runs if run.cycles_per_core() > 0]
+            interval = mean_confidence_interval(per_seed)
+            result.speedups[workload][config] = interval.mean
+            result.intervals[workload][config] = interval
+    return result

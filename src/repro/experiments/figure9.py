@@ -1,0 +1,54 @@
+"""Figure 9: runtime breakdown of conventional and InvisiFence configurations.
+
+The same six configurations as Figure 8, but presented as stacked runtime
+components (Busy / Other / SB full / SB drain / Violation) normalised to
+conventional SC's runtime.  Expected shape: the InvisiFence variants remove
+nearly all SB-full and SB-drain cycles and add only a small Violation
+component, with Invisi_rmo showing the least time in total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..cpu.stats import BREAKDOWN_COMPONENTS
+from ..stats.report import format_breakdown_table
+from .common import ExperimentRunner, ExperimentSettings
+from .figure8 import FIGURE8_CONFIGS
+
+
+@dataclass
+class Figure9Result:
+    """Normalised runtime breakdowns per workload and configuration."""
+
+    settings: ExperimentSettings
+    #: {workload: {config: {component: % of SC runtime}}}
+    breakdowns: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+
+    def total(self, workload: str, config: str) -> float:
+        return sum(self.breakdowns[workload][config].values())
+
+    def ordering_cycles(self, workload: str, config: str) -> float:
+        values = self.breakdowns[workload][config]
+        return values["sb_full"] + values["sb_drain"] + values["violation"]
+
+    def format(self) -> str:
+        return format_breakdown_table(
+            self.breakdowns, BREAKDOWN_COMPONENTS,
+            title="Figure 9: runtime breakdown, % of conventional SC runtime "
+                  "(lower total is better)")
+
+
+def run_figure9(settings: Optional[ExperimentSettings] = None,
+                runner: Optional[ExperimentRunner] = None) -> Figure9Result:
+    """Regenerate Figure 9."""
+    settings = settings or ExperimentSettings()
+    runner = runner or ExperimentRunner(settings)
+    result = Figure9Result(settings=settings)
+    for workload in settings.workloads:
+        result.breakdowns[workload] = {}
+        for config in FIGURE8_CONFIGS:
+            result.breakdowns[workload][config] = runner.normalized_breakdown(
+                config, workload, baseline="sc")
+    return result

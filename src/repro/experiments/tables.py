@@ -1,0 +1,122 @@
+"""The paper's descriptive tables (Figures 2, 4, 5, 6, 7).
+
+These figures are tables rather than measurements; they are regenerated
+from the corresponding code artefacts (the ordering-rule definitions, the
+speculation-policy properties, the default system configuration, and the
+workload presets) so that documentation cannot drift from the
+implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import ConsistencyModel, SystemConfig, paper_config
+from ..consistency.rules import AtomicRequirement, rules_for
+from ..stats.report import format_table
+from ..workloads.presets import WORKLOAD_PRESETS, workload_names
+from .common import ExperimentSettings
+from .figure10 import Figure10Result
+
+
+def figure2_table() -> str:
+    """Figure 2: consistency models and their conventional implementations."""
+    rows = []
+    sb_org = {
+        ConsistencyModel.SC: "FIFO, 8-byte word",
+        ConsistencyModel.TSO: "FIFO, 8-byte word",
+        ConsistencyModel.RMO: "Coalescing, 64-byte block",
+    }
+    atomic_text = {
+        AtomicRequirement.DRAIN_STORE_BUFFER: "Drain SB",
+        AtomicRequirement.COMPLETE_OWN_STORE: "Complete store",
+    }
+    for model in (ConsistencyModel.SC, ConsistencyModel.TSO, ConsistencyModel.RMO):
+        rules = rules_for(model)
+        rows.append([
+            model.value.upper(),
+            rules.description,
+            sb_org[model],
+            "Drain SB" if rules.load_requires_drain else "-",
+            "-",
+            atomic_text[rules.atomic],
+            "Drain SB" if rules.fence_requires_drain else "N/A",
+        ])
+    return format_table(
+        ["Model", "Relaxations", "Store buffer", "Load", "Store", "Atomic", "Full fence"],
+        rows, title="Figure 2: consistency models, definitions and conventional "
+                    "implementations")
+
+
+def figure4_table(figure10: Optional[Figure10Result] = None) -> str:
+    """Figure 4: properties of the InvisiFence variants.
+
+    If a Figure 10 result is supplied, the measured "% time speculating"
+    column replaces the paper's quoted ranges.
+    """
+    measured = {}
+    if figure10 is not None:
+        measured = {
+            "invisi_sc": f"{figure10.average('invisi_sc'):.0f}%",
+            "invisi_tso": f"{figure10.average('invisi_tso'):.0f}%",
+            "invisi_rmo": f"{figure10.average('invisi_rmo'):.0f}%",
+        }
+    rows = [
+        ["INVISIFENCE-SELECTIVE(rmo)", "Fences, atomics",
+         measured.get("invisi_rmo", "0-10%"), "None", "Yes"],
+        ["INVISIFENCE-SELECTIVE(tso)", "Store/atomic reorderings, fences",
+         measured.get("invisi_tso", "10-40%"), "None", "Yes"],
+        ["INVISIFENCE-SELECTIVE(sc)", "All memory reorderings",
+         measured.get("invisi_sc", "10-50%"), "None", "Yes"],
+        ["INVISIFENCE-CONTINUOUS", "Continuous chunks", "~100%",
+         "~100 instructions", "No"],
+    ]
+    return format_table(
+        ["Variant", "Speculates on", "% time speculating", "Min chunk", "Snoops load Q"],
+        rows, title="Figure 4: properties of InvisiFence variants")
+
+
+def figure5_table() -> str:
+    """Figure 5: qualitative comparison with BulkSC and ASO."""
+    rows = [
+        ["Speculative execution", "Continuous", "Continuous", "Selective", "Selective"],
+        ["Violation detection", "Lazy", "Eager", "Eager", "Eager"],
+        ["Preserving memory state", "Write back dirty blocks",
+         "Write back dirty blocks", "Write back dirty blocks", "Stores write-thru to L2"],
+        ["Commit mechanism", "Global arbitration", "Flash-clear bits",
+         "Flash-clear bits", "Drain stores from SSB to L2"],
+        ["Commit latency", "Grows with # processors", "Constant-time",
+         "Constant-time", "Grows with chunk size"],
+        ["Multiple checkpoints?", "Yes", "Yes", "No", "Yes"],
+        ["Fwd from unfilled blocks", "Coalescing store buffer",
+         "Coalescing store buffer", "Coalescing store buffer", "L1 cache"],
+        ["Memory-system impact", "Global signature transfer",
+         "Read/written bits in L1", "Read/written bits in L1",
+         "Read/written + sub-block bits"],
+        ["Avoids load-queue snooping?", "Yes", "Yes", "No", "No"],
+    ]
+    return format_table(
+        ["Dimension", "BulkSC", "INVISIFENCE-CONT.", "INVISIFENCE-SEL.", "ASO"],
+        rows, title="Figure 5: comparison of speculative consistency implementations")
+
+
+def figure6_table(config: Optional[SystemConfig] = None) -> str:
+    """Figure 6: simulated system parameters."""
+    config = config if config is not None else paper_config()
+    rows = [[key, value] for key, value in config.describe().items()]
+    return format_table(["Parameter", "Value"], rows,
+                        title="Figure 6: simulator parameters")
+
+
+def figure7_table(settings: Optional[ExperimentSettings] = None) -> str:
+    """Figure 7: workload descriptions (synthetic analogues)."""
+    rows = []
+    for name in workload_names():
+        spec = WORKLOAD_PRESETS[name]
+        info = spec.describe()
+        rows.append([name, info["description"], info["sync interval"],
+                     info["store fraction"], info["shared fraction"], info["footprint"]])
+    return format_table(
+        ["Workload", "Description", "Sync interval", "Store frac", "Shared frac",
+         "Footprint"],
+        rows, title="Figure 7: synthetic workload analogues")

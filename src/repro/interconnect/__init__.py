@@ -1,0 +1,6 @@
+"""Interconnect model: a 2-D torus with fixed per-hop latency (Figure 6)."""
+
+from .topology import TorusTopology
+from .latency import LatencyModel
+
+__all__ = ["TorusTopology", "LatencyModel"]

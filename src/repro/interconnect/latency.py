@@ -1,0 +1,70 @@
+"""Latency model for coherence transactions.
+
+Converts the structural path of a coherence transaction (requester ->
+home directory -> possibly a remote owner and/or sharers -> requester)
+into a cycle count, using the torus hop distances and the per-hop latency
+from the system configuration.
+
+The model is intentionally simple: each network traversal costs
+``hops * hop_latency`` cycles, the directory adds a fixed occupancy, an L2
+data hit adds the L2 hit latency, and an L2 miss adds the main-memory
+latency.  Invalidations to sharers proceed in parallel; their contribution
+is the worst-case sharer round trip (home -> sharer -> requester ack).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..config import SystemConfig
+from .topology import TorusTopology
+
+
+class LatencyModel:
+    """Computes end-to-end latencies of coherence transactions."""
+
+    def __init__(self, config: SystemConfig, topology: Optional[TorusTopology] = None) -> None:
+        self._config = config
+        self._topology = topology if topology is not None else TorusTopology(config.interconnect)
+        self._hop = config.interconnect.hop_latency
+
+    @property
+    def topology(self) -> TorusTopology:
+        return self._topology
+
+    def network(self, src: int, dst: int) -> int:
+        """One-way network latency between two nodes."""
+        return self._topology.hops(src, dst) * self._hop
+
+    def request_to_home(self, requester: int, home: int) -> int:
+        return self.network(requester, home)
+
+    def directory_access(self, l2_hit: bool) -> int:
+        """Directory lookup plus L2 data access (or memory on a miss)."""
+        latency = self._config.directory_latency + self._config.l2.hit_latency
+        if not l2_hit:
+            latency += self._config.memory_latency
+        return latency
+
+    def data_response(self, home: int, requester: int) -> int:
+        return self.network(home, requester)
+
+    def owner_forward(self, home: int, owner: int, requester: int) -> int:
+        """Three-hop forwarding: home -> owner probe -> data to requester."""
+        return (self.network(home, owner)
+                + self._config.l1.hit_latency
+                + self.network(owner, requester))
+
+    def invalidation_round(self, home: int, sharers: Iterable[int], requester: int) -> int:
+        """Worst-case invalidate/ack path over all sharers (in parallel)."""
+        worst = 0
+        for sharer in sharers:
+            if sharer == requester:
+                continue
+            path = self.network(home, sharer) + self.network(sharer, requester)
+            worst = max(worst, path)
+        return worst
+
+    def writeback(self, src: int, home: int) -> int:
+        """Latency of pushing a dirty or clean block down to the home L2."""
+        return self.network(src, home) + self._config.directory_latency

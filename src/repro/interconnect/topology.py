@@ -1,0 +1,70 @@
+"""2-D torus topology.
+
+The paper's system is a 4x4 2-D torus with 25 ns per-hop latency.  This
+module provides node placement and minimal-hop distance computations; the
+latency model in :mod:`repro.interconnect.latency` converts hop counts into
+cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..config import InterconnectConfig
+from ..errors import ConfigurationError
+
+
+class TorusTopology:
+    """Node coordinates and wrap-around hop distances on a 2-D torus."""
+
+    def __init__(self, config: InterconnectConfig) -> None:
+        self._config = config
+        self._width = config.mesh_width
+        self._height = config.mesh_height
+        self._distance_cache: Dict[Tuple[int, int], int] = {}
+
+    @property
+    def config(self) -> InterconnectConfig:
+        return self._config
+
+    @property
+    def num_nodes(self) -> int:
+        return self._width * self._height
+
+    def coordinates(self, node: int) -> Tuple[int, int]:
+        """Return the (x, y) position of ``node``."""
+        self._check_node(node)
+        return node % self._width, node // self._width
+
+    def node_at(self, x: int, y: int) -> int:
+        """Return the node id at position (x, y)."""
+        if not (0 <= x < self._width and 0 <= y < self._height):
+            raise ConfigurationError(f"coordinates ({x}, {y}) outside torus")
+        return y * self._width + x
+
+    def hops(self, src: int, dst: int) -> int:
+        """Minimal hop count between two nodes, with wrap-around links."""
+        key = (src, dst)
+        cached = self._distance_cache.get(key)
+        if cached is not None:
+            return cached
+        sx, sy = self.coordinates(src)
+        dx, dy = self.coordinates(dst)
+        xdist = abs(sx - dx)
+        xdist = min(xdist, self._width - xdist)
+        ydist = abs(sy - dy)
+        ydist = min(ydist, self._height - ydist)
+        total = xdist + ydist
+        self._distance_cache[key] = total
+        self._distance_cache[(dst, src)] = total
+        return total
+
+    def home_node(self, block_addr: int, block_bytes: int) -> int:
+        """Address-interleaved home (directory) node for a block."""
+        return (block_addr // block_bytes) % self.num_nodes
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ConfigurationError(
+                f"node {node} outside torus of {self.num_nodes} nodes"
+            )

@@ -1,0 +1,28 @@
+"""Memory substrate: addresses, cache blocks, and set-associative caches.
+
+This package provides the storage structures shared by the coherence
+protocol and the processor model:
+
+* :mod:`repro.memory.address` -- block/word address arithmetic.
+* :mod:`repro.memory.block` -- per-block coherence state plus the
+  speculatively-read / speculatively-written bits that InvisiFence adds to
+  the L1 tags (Section 3.1 of the paper).
+* :mod:`repro.memory.cache` -- a set-associative, LRU cache tag array with
+  the flash-clear and conditional flash-invalidate operations InvisiFence
+  relies on for constant-time commit and abort.
+"""
+
+from .address import Address, block_address, block_index, word_address
+from .block import CacheBlock, CoherenceState
+from .cache import CacheArray, EvictionResult
+
+__all__ = [
+    "Address",
+    "block_address",
+    "block_index",
+    "word_address",
+    "CacheBlock",
+    "CoherenceState",
+    "CacheArray",
+    "EvictionResult",
+]

@@ -1,0 +1,230 @@
+"""Set-associative cache tag array with InvisiFence speculative-bit support.
+
+The :class:`CacheArray` models the tag/state side of an L1 data cache.  The
+data values themselves are never simulated (the simulator is trace-driven),
+but all state needed for timing and correctness of the studied mechanisms is
+kept: coherence state, dirtiness, LRU ordering, and the speculatively-read /
+speculatively-written bits.
+
+Two operations mirror the flash circuits of Figure 3:
+
+* :meth:`CacheArray.flash_clear_spec_bits` -- clear every speculative bit
+  (used on commit), optionally restricted to one checkpoint id.
+* :meth:`CacheArray.flash_invalidate_spec_written` -- invalidate every block
+  whose speculatively-written bit is set (used on abort), again optionally
+  restricted to one checkpoint id.
+
+Victim selection prefers non-speculative blocks so that a fill does not
+force the eviction of a speculatively accessed block unless the whole set
+is speculative; in that case the caller is told a *forced commit* is needed
+(Section 3.2: "forcing a commit before evicting any speculatively-read or
+speculatively-written block").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from ..config import CacheConfig
+from ..errors import SimulationError
+from .address import block_address
+from .block import CacheBlock, CoherenceState
+
+
+@dataclass
+class EvictionResult:
+    """Outcome of preparing a fill: which victim (if any) was evicted."""
+
+    #: the evicted block (already removed from the cache), or None.
+    victim: Optional[CacheBlock]
+    #: True when the victim was dirty and must be written back.
+    needs_writeback: bool
+    #: True when every candidate way held speculative state, so the caller
+    #: must force a speculation commit before the fill can proceed.
+    requires_forced_commit: bool
+
+
+class CacheArray:
+    """A set-associative, LRU-replaced cache tag array."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self._config = config
+        self._num_sets = config.num_sets
+        self._assoc = config.associativity
+        self._block_bytes = config.block_bytes
+        #: per-set mapping from block address to CacheBlock.
+        self._sets: List[Dict[int, CacheBlock]] = [dict() for _ in range(self._num_sets)]
+        self._access_counter = 0
+
+    # -- geometry helpers -------------------------------------------------
+
+    @property
+    def config(self) -> CacheConfig:
+        return self._config
+
+    @property
+    def block_bytes(self) -> int:
+        return self._block_bytes
+
+    def set_index(self, addr: int) -> int:
+        return (block_address(addr, self._block_bytes) // self._block_bytes) % self._num_sets
+
+    def _set_for(self, addr: int) -> Dict[int, CacheBlock]:
+        return self._sets[self.set_index(addr)]
+
+    def _touch(self, block: CacheBlock) -> None:
+        self._access_counter += 1
+        block.last_use = self._access_counter
+
+    # -- lookups ----------------------------------------------------------
+
+    def lookup(self, addr: int, touch: bool = True) -> Optional[CacheBlock]:
+        """Return the valid block containing ``addr`` or ``None``."""
+        baddr = block_address(addr, self._block_bytes)
+        block = self._set_for(baddr).get(baddr)
+        if block is None or not block.state.is_valid:
+            return None
+        if touch:
+            self._touch(block)
+        return block
+
+    def contains(self, addr: int) -> bool:
+        return self.lookup(addr, touch=False) is not None
+
+    def is_writable(self, addr: int) -> bool:
+        block = self.lookup(addr, touch=False)
+        return block is not None and block.state.is_writable
+
+    def __len__(self) -> int:
+        return sum(
+            1 for s in self._sets for b in s.values() if b.state.is_valid
+        )
+
+    def blocks(self) -> Iterator[CacheBlock]:
+        """Iterate over all valid blocks (no LRU side effects)."""
+        for s in self._sets:
+            for block in s.values():
+                if block.state.is_valid:
+                    yield block
+
+    def speculative_blocks(self) -> Iterator[CacheBlock]:
+        """Iterate over valid blocks with at least one speculative bit set."""
+        for block in self.blocks():
+            if block.speculative:
+                yield block
+
+    # -- fills and evictions ----------------------------------------------
+
+    def prepare_fill(self, addr: int) -> EvictionResult:
+        """Make room for a fill of the block containing ``addr``.
+
+        If the block is already present, or the set has a free way, no
+        victim is chosen.  Otherwise the least-recently-used
+        *non-speculative* block is evicted.  If every way in the set holds
+        speculative state the caller must commit the current speculation
+        first; no eviction is performed in that case.
+        """
+        baddr = block_address(addr, self._block_bytes)
+        cache_set = self._set_for(baddr)
+        existing = cache_set.get(baddr)
+        if existing is not None and existing.state.is_valid:
+            return EvictionResult(victim=None, needs_writeback=False,
+                                  requires_forced_commit=False)
+        # Drop any stale invalid entry for this address.
+        if existing is not None:
+            del cache_set[baddr]
+        # Purge invalid placeholders to free ways.
+        for key in [k for k, b in cache_set.items() if not b.state.is_valid]:
+            del cache_set[key]
+        if len(cache_set) < self._assoc:
+            return EvictionResult(victim=None, needs_writeback=False,
+                                  requires_forced_commit=False)
+        candidates = [b for b in cache_set.values() if not b.speculative]
+        if not candidates:
+            return EvictionResult(victim=None, needs_writeback=False,
+                                  requires_forced_commit=True)
+        victim = min(candidates, key=lambda b: b.last_use)
+        del cache_set[victim.address]
+        return EvictionResult(victim=victim,
+                              needs_writeback=victim.dirty
+                              and victim.state is CoherenceState.MODIFIED,
+                              requires_forced_commit=False)
+
+    def install(self, addr: int, state: CoherenceState,
+                dirty: bool = False) -> CacheBlock:
+        """Install (or update) the block containing ``addr``.
+
+        Callers must have invoked :meth:`prepare_fill` first when a new
+        block may be needed; installing into a full set raises.
+        """
+        if not state.is_valid:
+            raise SimulationError("cannot install a block in the INVALID state")
+        baddr = block_address(addr, self._block_bytes)
+        cache_set = self._set_for(baddr)
+        block = cache_set.get(baddr)
+        if block is None:
+            if len(cache_set) >= self._assoc:
+                raise SimulationError(
+                    f"install into full set for address {baddr:#x}; "
+                    "prepare_fill must be called first"
+                )
+            block = CacheBlock(address=baddr)
+            cache_set[baddr] = block
+        block.state = state
+        block.dirty = dirty
+        self._touch(block)
+        return block
+
+    def remove(self, addr: int) -> Optional[CacheBlock]:
+        """Remove and return the block containing ``addr`` (if present)."""
+        baddr = block_address(addr, self._block_bytes)
+        return self._set_for(baddr).pop(baddr, None)
+
+    # -- flash operations (Figure 3) --------------------------------------
+
+    def flash_clear_spec_bits(self, checkpoint_id: Optional[int] = None) -> int:
+        """Clear speculative bits; returns the number of blocks affected.
+
+        With ``checkpoint_id`` given, only bits belonging to that
+        checkpoint are cleared (used when one of two in-flight chunks
+        commits).
+        """
+        cleared = 0
+        for block in self.blocks():
+            if not block.speculative:
+                continue
+            if checkpoint_id is None:
+                block.clear_spec_bits()
+                cleared += 1
+            elif checkpoint_id in block.speculation_ids():
+                block.clear_spec_bits_for(checkpoint_id)
+                cleared += 1
+        return cleared
+
+    def flash_invalidate_spec_written(
+        self, checkpoint_id: Optional[int] = None
+    ) -> List[int]:
+        """Invalidate speculatively written blocks; returns their addresses.
+
+        This is the conditional flash-invalidate used on abort: the only
+        up-to-date copy of a speculatively written block is the speculative
+        one, so the block is dropped and will be re-fetched on demand.
+        Speculatively *read* bits (for the selected checkpoint) are cleared
+        as well, mirroring the full flash-clear that accompanies abort.
+        """
+        invalidated: List[int] = []
+        for block in list(self.blocks()):
+            if checkpoint_id is not None and checkpoint_id not in block.speculation_ids():
+                continue
+            if block.spec_written is not None and (
+                checkpoint_id is None or block.spec_written == checkpoint_id
+            ):
+                invalidated.append(block.address)
+                block.invalidate()
+            else:
+                if checkpoint_id is None:
+                    block.clear_spec_bits()
+                else:
+                    block.clear_spec_bits_for(checkpoint_id)
+        return invalidated

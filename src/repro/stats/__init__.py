@@ -1,0 +1,28 @@
+"""Statistics: breakdowns, confidence intervals, and text reports."""
+
+from .breakdown import (
+    BREAKDOWN_ORDER,
+    average_over_workloads,
+    normalized_breakdown,
+    normalized_total,
+    ordering_stall_breakdown,
+    speedup,
+    speedup_table,
+)
+from .confidence import ConfidenceInterval, mean_confidence_interval
+from .report import format_breakdown_table, format_series_table, format_table
+
+__all__ = [
+    "BREAKDOWN_ORDER",
+    "average_over_workloads",
+    "normalized_breakdown",
+    "normalized_total",
+    "ordering_stall_breakdown",
+    "speedup",
+    "speedup_table",
+    "ConfidenceInterval",
+    "mean_confidence_interval",
+    "format_table",
+    "format_breakdown_table",
+    "format_series_table",
+]

@@ -1,0 +1,71 @@
+"""Runtime breakdowns and speedups.
+
+These helpers convert :class:`~repro.engine.results.RunResult` objects into
+the two presentations the paper uses:
+
+* speedup bars relative to a baseline run (Figure 8), and
+* stacked runtime breakdowns normalised to a baseline run's total
+  (Figures 9, 11, 12): each configuration's Busy / Other / SB full /
+  SB drain / Violation components are expressed as a percentage of the
+  baseline configuration's runtime, so a shorter bar means a faster
+  configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping
+
+from ..cpu.stats import BREAKDOWN_COMPONENTS
+from ..engine.results import RunResult
+
+#: Plot order used by the paper's stacked bars (bottom to top).
+BREAKDOWN_ORDER = ("busy", "other", "sb_full", "sb_drain", "violation")
+
+
+def speedup(result: RunResult, baseline: RunResult) -> float:
+    """Speedup of ``result`` over ``baseline`` (higher is better)."""
+    return result.speedup_over(baseline)
+
+
+def speedup_table(results: Mapping[str, RunResult], baseline_key: str) -> Dict[str, float]:
+    """Speedups of every configuration in ``results`` over one baseline."""
+    baseline = results[baseline_key]
+    return {name: speedup(run, baseline) for name, run in results.items()}
+
+
+def normalized_breakdown(result: RunResult, baseline: RunResult) -> Dict[str, float]:
+    """Runtime components of ``result`` as a % of the baseline's runtime."""
+    baseline_total = sum(baseline.breakdown().values())
+    values = result.breakdown()
+    if baseline_total <= 0:
+        return {name: 0.0 for name in BREAKDOWN_ORDER}
+    return {name: 100.0 * values[name] / baseline_total for name in BREAKDOWN_ORDER}
+
+
+def normalized_total(result: RunResult, baseline: RunResult) -> float:
+    """Total normalised runtime (the height of the stacked bar)."""
+    return sum(normalized_breakdown(result, baseline).values())
+
+
+def ordering_stall_breakdown(result: RunResult) -> Dict[str, float]:
+    """SB-full / SB-drain components as a % of this run's own cycles.
+
+    This is the Figure 1 presentation: ordering stalls in a conventional
+    implementation as a percentage of its own execution time.
+    """
+    values = result.breakdown()
+    total = sum(values.values())
+    if total <= 0:
+        return {"sb_full": 0.0, "sb_drain": 0.0}
+    return {
+        "sb_full": 100.0 * values["sb_full"] / total,
+        "sb_drain": 100.0 * values["sb_drain"] / total,
+    }
+
+
+def average_over_workloads(per_workload: Mapping[str, float]) -> float:
+    """Arithmetic mean over workloads (the paper's "on average" numbers)."""
+    values: List[float] = list(per_workload.values())
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

@@ -1,0 +1,99 @@
+"""Trace (de)serialization.
+
+Traces are stored as compact JSON-lines files: one header object followed by
+one array per operation.  The format is intended for debugging, sharing
+small reproducer traces, and round-trip testing; the experiment drivers
+normally regenerate traces from workload specifications instead.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from ..errors import TraceError
+from .ops import MemOp, OpKind
+from .trace import MultiThreadedTrace, Trace
+
+_FORMAT_VERSION = 1
+
+_KIND_CODES = {
+    OpKind.LOAD: "L",
+    OpKind.STORE: "S",
+    OpKind.ATOMIC: "A",
+    OpKind.FENCE: "F",
+    OpKind.COMPUTE: "C",
+}
+_CODE_KINDS = {code: kind for kind, code in _KIND_CODES.items()}
+
+
+def _encode_op(op: MemOp) -> list:
+    if op.kind is OpKind.COMPUTE:
+        record = [_KIND_CODES[op.kind], op.cycles]
+    elif op.kind is OpKind.FENCE:
+        record = [_KIND_CODES[op.kind]]
+    else:
+        record = [_KIND_CODES[op.kind], op.address, op.size]
+    if op.label:
+        record.append(op.label)
+    return record
+
+
+def _decode_op(record: list) -> MemOp:
+    if not record:
+        raise TraceError("empty operation record")
+    kind = _CODE_KINDS.get(record[0])
+    if kind is None:
+        raise TraceError(f"unknown operation code {record[0]!r}")
+    if kind is OpKind.COMPUTE:
+        label = record[2] if len(record) > 2 else None
+        return MemOp(kind, cycles=int(record[1]), label=label)
+    if kind is OpKind.FENCE:
+        label = record[1] if len(record) > 1 else None
+        return MemOp(kind, label=label)
+    label = record[3] if len(record) > 3 else None
+    return MemOp(kind, address=int(record[1]), size=int(record[2]), label=label)
+
+
+def save_trace(trace: MultiThreadedTrace, path: Union[str, Path]) -> None:
+    """Write ``trace`` to ``path`` in the JSON-lines trace format."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        header = {
+            "version": _FORMAT_VERSION,
+            "name": trace.name,
+            "seed": trace.seed,
+            "threads": trace.num_threads,
+            "ops_per_thread": [len(t) for t in trace],
+        }
+        handle.write(json.dumps(header) + "\n")
+        for thread in trace:
+            for op in thread:
+                handle.write(json.dumps(_encode_op(op)) + "\n")
+
+
+def load_trace(path: Union[str, Path]) -> MultiThreadedTrace:
+    """Read a trace previously written by :func:`save_trace`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise TraceError(f"{path} is empty")
+        header = json.loads(header_line)
+        if header.get("version") != _FORMAT_VERSION:
+            raise TraceError(
+                f"unsupported trace format version {header.get('version')!r}"
+            )
+        counts: List[int] = header["ops_per_thread"]
+        traces: List[Trace] = []
+        for thread_id, count in enumerate(counts):
+            ops = []
+            for _ in range(count):
+                line = handle.readline()
+                if not line:
+                    raise TraceError(f"{path} truncated while reading thread {thread_id}")
+                ops.append(_decode_op(json.loads(line)))
+            traces.append(Trace(ops, thread_id=thread_id))
+    return MultiThreadedTrace(traces, name=header.get("name", path.stem),
+                              seed=header.get("seed"))

@@ -1,0 +1,119 @@
+"""Trace containers.
+
+A :class:`Trace` is one thread's program-order operation sequence; a
+:class:`MultiThreadedTrace` bundles one trace per core plus bookkeeping used
+by the experiment drivers (workload name, generator seed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from ..errors import TraceError
+from .ops import MemOp, OpKind
+
+
+class Trace:
+    """One thread's program-order sequence of operations."""
+
+    def __init__(self, ops: Optional[Iterable[MemOp]] = None,
+                 thread_id: int = 0) -> None:
+        self._ops: List[MemOp] = list(ops) if ops is not None else []
+        self.thread_id = thread_id
+
+    def append(self, op: MemOp) -> None:
+        self._ops.append(op)
+
+    def extend(self, ops: Iterable[MemOp]) -> None:
+        self._ops.extend(ops)
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self) -> Iterator[MemOp]:
+        return iter(self._ops)
+
+    def __getitem__(self, index: int) -> MemOp:
+        return self._ops[index]
+
+    @property
+    def ops(self) -> Sequence[MemOp]:
+        return self._ops
+
+    # -- summary statistics ------------------------------------------------
+
+    def count(self, kind: OpKind) -> int:
+        return sum(1 for op in self._ops if op.kind is kind)
+
+    def instruction_weight(self) -> int:
+        """Total abstracted instruction count (compute bundles weighted)."""
+        total = 0
+        for op in self._ops:
+            total += op.cycles if op.kind is OpKind.COMPUTE else 1
+        return total
+
+    def footprint(self, block_bytes: int) -> int:
+        """Number of distinct cache blocks touched by this trace."""
+        blocks = set()
+        for op in self._ops:
+            if op.is_memory:
+                blocks.add(op.address // block_bytes)
+        return len(blocks)
+
+    def mix(self) -> Dict[str, float]:
+        """Fraction of operations of each kind (by op count)."""
+        if not self._ops:
+            return {kind.value: 0.0 for kind in OpKind}
+        total = len(self._ops)
+        return {
+            kind.value: self.count(kind) / total for kind in OpKind
+        }
+
+
+class MultiThreadedTrace:
+    """A bundle of per-core traces produced by a workload generator."""
+
+    def __init__(self, traces: Sequence[Trace], name: str = "anonymous",
+                 seed: Optional[int] = None) -> None:
+        if not traces:
+            raise TraceError("a multi-threaded trace needs at least one thread")
+        self._traces = list(traces)
+        for index, trace in enumerate(self._traces):
+            trace.thread_id = index
+        self.name = name
+        self.seed = seed
+
+    @property
+    def num_threads(self) -> int:
+        return len(self._traces)
+
+    def __len__(self) -> int:
+        return self.num_threads
+
+    def __iter__(self) -> Iterator[Trace]:
+        return iter(self._traces)
+
+    def __getitem__(self, thread: int) -> Trace:
+        return self._traces[thread]
+
+    @property
+    def traces(self) -> Sequence[Trace]:
+        return self._traces
+
+    def total_ops(self) -> int:
+        return sum(len(t) for t in self._traces)
+
+    def total_instruction_weight(self) -> int:
+        return sum(t.instruction_weight() for t in self._traces)
+
+    def shared_blocks(self, block_bytes: int) -> int:
+        """Number of blocks touched by more than one thread."""
+        seen: Dict[int, int] = {}
+        for trace in self._traces:
+            thread_blocks = set()
+            for op in trace:
+                if op.is_memory:
+                    thread_blocks.add(op.address // block_bytes)
+            for block in thread_blocks:
+                seen[block] = seen.get(block, 0) + 1
+        return sum(1 for count in seen.values() if count > 1)

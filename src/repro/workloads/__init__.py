@@ -1,0 +1,31 @@
+"""Synthetic multithreaded workloads.
+
+The paper evaluates InvisiFence on commercial server workloads (Apache,
+Zeus, OLTP on Oracle and DB2, DSS on DB2) and two SPLASH-2 scientific codes
+(Barnes, Ocean) running on a full-system simulator.  Those applications and
+datasets are proprietary and cannot be traced here, so this package
+generates *synthetic* multithreaded memory traces whose first-order
+behaviours match the per-workload characteristics that drive the paper's
+results: synchronisation frequency (atomics + fences from fine-grained
+locking), store burstiness, cache-miss rates, and the amount and style of
+inter-thread sharing (which determines the conflict rate seen by
+speculation).
+
+See DESIGN.md for the substitution rationale and
+:mod:`repro.workloads.presets` for the per-workload parameterisation.
+"""
+
+from .spec import WorkloadSpec
+from .generator import SyntheticWorkloadGenerator, generate_workload
+from .presets import WORKLOAD_PRESETS, preset, workload_names
+from .registry import build_trace
+
+__all__ = [
+    "WorkloadSpec",
+    "SyntheticWorkloadGenerator",
+    "generate_workload",
+    "WORKLOAD_PRESETS",
+    "preset",
+    "workload_names",
+    "build_trace",
+]

@@ -1,0 +1,200 @@
+"""Synthetic trace generator.
+
+Each thread's trace is generated independently from a deterministic
+per-thread RNG stream (derived from the workload seed and thread id), so
+traces are reproducible and threads can be generated lazily.
+
+The generated behaviour, per thread:
+
+* A background mix of compute bundles, loads, and stores over a private
+  region and a shared region, with temporal locality modelled by a reuse
+  window of recently touched blocks.
+* Periodic critical sections: an atomic compare-and-swap on a lock block
+  followed by an acquire fence, a handful of accesses to the blocks
+  protected by that lock, and a releasing store to the lock block.  Locks
+  and their data are shared by all threads, so contended locks generate
+  invalidation traffic and speculation conflicts.
+* Occasional store bursts over consecutive blocks (log flushing, buffer
+  copies), which stress FIFO store buffer capacity.
+* Occasional migratory read-modify-write accesses to a small set of hot
+  shared blocks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..memory.address import WORD_BYTES
+from ..trace.ops import MemOp, atomic, compute, fence, load, store
+from ..trace.trace import MultiThreadedTrace, Trace
+from .spec import WorkloadSpec
+
+#: Cache block size assumed by the address-map layout.
+BLOCK_BYTES = 64
+
+# Address-map region bases (in blocks).  Regions are disjoint by
+# construction for any reasonable spec sizes.
+_LOCK_REGION_BASE = 1_000
+_LOCK_DATA_BASE = 10_000
+_COUNTER_BASE = 50_000
+_MIGRATORY_BASE = 60_000
+_SHARED_BASE = 100_000
+_PRIVATE_BASE = 10_000_000
+_PRIVATE_STRIDE = 1_000_000
+
+
+def _block_to_addr(block: int, rng: np.random.Generator) -> int:
+    """Pick a word-aligned address inside ``block``."""
+    offset = int(rng.integers(0, BLOCK_BYTES // WORD_BYTES)) * WORD_BYTES
+    return block * BLOCK_BYTES + offset
+
+
+class SyntheticWorkloadGenerator:
+    """Generates a :class:`MultiThreadedTrace` from a :class:`WorkloadSpec`."""
+
+    def __init__(self, spec: WorkloadSpec, num_threads: int, seed: int = 0) -> None:
+        self.spec = spec
+        self.num_threads = num_threads
+        self.seed = seed
+
+    # -- public API -----------------------------------------------------------
+
+    def generate(self) -> MultiThreadedTrace:
+        traces = [self.generate_thread(tid) for tid in range(self.num_threads)]
+        return MultiThreadedTrace(traces, name=self.spec.name, seed=self.seed)
+
+    def generate_thread(self, thread_id: int) -> Trace:
+        spec = self.spec
+        rng = np.random.default_rng((self.seed * 65_537 + thread_id) & 0x7FFFFFFF)
+        ops: List[MemOp] = []
+
+        private_base = _PRIVATE_BASE + thread_id * _PRIVATE_STRIDE
+        private_recent: List[int] = []
+        shared_recent: List[int] = []
+
+        sync_prob = 1.0 / spec.sync_interval
+        while len(ops) < spec.ops_per_thread:
+            if rng.random() < sync_prob:
+                self._emit_critical_section(ops, rng, thread_id)
+            else:
+                self._emit_background_op(ops, rng, private_base,
+                                         private_recent, shared_recent)
+        del ops[spec.ops_per_thread:]
+        return Trace(ops, thread_id=thread_id)
+
+    # -- pieces ------------------------------------------------------------------
+
+    def _pick_lock(self, rng: np.random.Generator, thread_id: int) -> int:
+        """Choose a lock, biased towards the thread's own partition."""
+        spec = self.spec
+        if spec.lock_affinity and rng.random() < spec.lock_affinity:
+            partition = max(1, spec.num_locks // max(1, self.num_threads))
+            base = (thread_id % max(1, self.num_threads)) * partition
+            return (base + int(rng.integers(0, partition))) % spec.num_locks
+        return int(rng.integers(0, spec.num_locks))
+
+    def _emit_critical_section(self, ops: List[MemOp], rng: np.random.Generator,
+                               thread_id: int) -> None:
+        spec = self.spec
+        lock_id = self._pick_lock(rng, thread_id)
+        lock_block = _LOCK_REGION_BASE + lock_id
+        lock_addr = lock_block * BLOCK_BYTES
+
+        # Acquire: atomic compare-and-swap plus an acquire fence.  Following
+        # the paper's methodology, no fence is emitted at release.
+        ops.append(atomic(lock_addr, label="lock_acquire"))
+        ops.append(fence(label="acquire_fence"))
+
+        length = max(1, int(rng.geometric(1.0 / spec.critical_section_len)))
+        data_base = _LOCK_DATA_BASE + lock_id * spec.blocks_per_lock
+        for _ in range(length):
+            block = data_base + int(rng.integers(0, spec.blocks_per_lock))
+            addr = _block_to_addr(block, rng)
+            if rng.random() < 0.5:
+                ops.append(load(addr, label="critical_read"))
+            else:
+                ops.append(store(addr, label="critical_write"))
+
+        # Release: an ordinary store to the lock word.
+        ops.append(store(lock_addr, label="lock_release"))
+
+    def _emit_background_op(self, ops: List[MemOp], rng: np.random.Generator,
+                            private_base: int, private_recent: List[int],
+                            shared_recent: List[int]) -> None:
+        spec = self.spec
+        if spec.lockfree_atomic_prob and rng.random() < spec.lockfree_atomic_prob:
+            # Lock-free synchronisation: an atomic increment on a shared
+            # counter, with no fence attached.
+            block = _COUNTER_BASE + int(rng.integers(0, spec.atomic_counter_blocks))
+            ops.append(atomic(_block_to_addr(block, rng), label="lockfree_atomic"))
+            return
+
+        draw = rng.random()
+        if draw < spec.compute_fraction:
+            cycles = max(1, int(rng.geometric(1.0 / spec.compute_run_mean)))
+            ops.append(compute(cycles))
+            return
+
+        is_store = draw < spec.compute_fraction + spec.store_fraction
+        shared = rng.random() < spec.shared_fraction
+
+        if shared and rng.random() < spec.migratory_fraction:
+            # Migratory read-modify-write on a hot block.
+            block = _MIGRATORY_BASE + int(rng.integers(0, spec.migratory_blocks))
+            addr = _block_to_addr(block, rng)
+            ops.append(load(addr, label="migratory_read"))
+            ops.append(store(addr, label="migratory_write"))
+            return
+
+        if is_store and rng.random() < spec.store_burst_prob:
+            self._emit_store_burst(ops, rng, private_base, shared)
+            return
+
+        block = self._pick_block(rng, private_base, shared,
+                                 private_recent, shared_recent)
+        addr = _block_to_addr(block, rng)
+        label = "shared" if shared else "private"
+        ops.append(store(addr, label=label) if is_store else load(addr, label=label))
+
+    def _emit_store_burst(self, ops: List[MemOp], rng: np.random.Generator,
+                          private_base: int, shared: bool) -> None:
+        """Streaming stores over consecutive blocks (buffer copy / log write).
+
+        Every word of every block is written, which is the access pattern
+        that separates the two store-buffer organisations: a word-granularity
+        FIFO needs eight entries per block while a coalescing buffer needs
+        one (and none at all once the block is writable in the L1).
+        """
+        spec = self.spec
+        length = max(2, int(rng.geometric(1.0 / spec.store_burst_len)))
+        if shared:
+            start = _SHARED_BASE + int(rng.integers(0, max(1, spec.shared_blocks - length)))
+        else:
+            start = private_base + int(rng.integers(0, max(1, spec.private_blocks - length)))
+        for i in range(length):
+            base = (start + i) * BLOCK_BYTES
+            for word in range(BLOCK_BYTES // WORD_BYTES):
+                ops.append(store(base + word * WORD_BYTES, label="burst"))
+
+    def _pick_block(self, rng: np.random.Generator, private_base: int, shared: bool,
+                    private_recent: List[int], shared_recent: List[int]) -> int:
+        spec = self.spec
+        recent = shared_recent if shared else private_recent
+        if recent and rng.random() < spec.locality:
+            return recent[int(rng.integers(0, len(recent)))]
+        if shared:
+            block = _SHARED_BASE + int(rng.integers(0, spec.shared_blocks))
+        else:
+            block = private_base + int(rng.integers(0, spec.private_blocks))
+        recent.append(block)
+        if len(recent) > spec.reuse_window:
+            recent.pop(0)
+        return block
+
+
+def generate_workload(spec: WorkloadSpec, num_threads: int,
+                      seed: int = 0) -> MultiThreadedTrace:
+    """Generate a multi-threaded trace for ``spec``."""
+    return SyntheticWorkloadGenerator(spec, num_threads, seed).generate()

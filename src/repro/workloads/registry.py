@@ -1,0 +1,23 @@
+"""Workload registry: name -> ready-to-run multithreaded trace."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..trace.trace import MultiThreadedTrace
+from .generator import generate_workload
+from .presets import preset
+from .spec import WorkloadSpec
+
+
+def build_trace(name_or_spec, num_threads: int, ops_per_thread: Optional[int] = None,
+                seed: int = 0) -> MultiThreadedTrace:
+    """Build the trace for a preset name or an explicit :class:`WorkloadSpec`.
+
+    ``ops_per_thread`` overrides the spec's trace length (experiments use
+    this to trade fidelity for runtime).
+    """
+    spec: WorkloadSpec = preset(name_or_spec) if isinstance(name_or_spec, str) else name_or_spec
+    if ops_per_thread is not None:
+        spec = spec.scaled(ops_per_thread)
+    return generate_workload(spec, num_threads=num_threads, seed=seed)

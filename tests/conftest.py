@@ -1,0 +1,156 @@
+"""Shared fixtures and helpers for the test suite.
+
+Most controller-level tests build a tiny system by hand: a list of
+operations per core, a small machine configuration, and the
+``build_system`` wiring.  The helpers here keep those tests short and
+deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    ConsistencyModel,
+    InterconnectConfig,
+    SpeculationConfig,
+    SpeculationMode,
+    SystemConfig,
+    ViolationPolicy,
+)
+from repro.engine.simulator import Simulator
+from repro.engine.system import System, build_system
+from repro.trace.ops import MemOp
+from repro.trace.trace import MultiThreadedTrace, Trace
+
+
+# ---------------------------------------------------------------------------
+# Tiny machine configurations
+# ---------------------------------------------------------------------------
+
+def tiny_config(consistency: ConsistencyModel = ConsistencyModel.SC,
+                speculation: Optional[SpeculationConfig] = None,
+                num_cores: int = 2,
+                l1_blocks: int = 64,
+                l1_assoc: int = 2,
+                hop_latency: int = 10,
+                memory_latency: int = 40,
+                store_prefetch_lead: int = 0) -> SystemConfig:
+    """A small, fast machine with simple round-number latencies."""
+    spec = speculation if speculation is not None else SpeculationConfig()
+    mesh = 2
+    while mesh * mesh < num_cores:
+        mesh += 1
+    return SystemConfig(
+        num_cores=num_cores,
+        consistency=consistency,
+        speculation=spec,
+        l1=CacheConfig(size_bytes=l1_blocks * 64, associativity=l1_assoc,
+                       block_bytes=64, hit_latency=2),
+        l2=CacheConfig(size_bytes=64 * 1024, associativity=8, block_bytes=64,
+                       hit_latency=10),
+        interconnect=InterconnectConfig(mesh_width=mesh, mesh_height=mesh,
+                                        hop_latency=hop_latency),
+        memory_latency=memory_latency,
+        directory_latency=4,
+        clean_writeback_latency=8,
+        store_prefetch_lead=store_prefetch_lead,
+    )
+
+
+def selective_config(model: ConsistencyModel = ConsistencyModel.SC,
+                     num_checkpoints: int = 1,
+                     violation_policy: ViolationPolicy = ViolationPolicy.ABORT,
+                     cov_timeout: int = 4000,
+                     **kwargs) -> SystemConfig:
+    """Tiny config running InvisiFence-Selective."""
+    spec = SpeculationConfig(mode=SpeculationMode.SELECTIVE,
+                             num_checkpoints=num_checkpoints,
+                             violation_policy=violation_policy,
+                             cov_timeout=cov_timeout)
+    return tiny_config(model, spec, **kwargs)
+
+
+def continuous_config(violation_policy: ViolationPolicy = ViolationPolicy.ABORT,
+                      min_chunk_size: int = 20,
+                      cov_timeout: int = 4000,
+                      **kwargs) -> SystemConfig:
+    """Tiny config running InvisiFence-Continuous."""
+    spec = SpeculationConfig(mode=SpeculationMode.CONTINUOUS,
+                             num_checkpoints=2,
+                             min_chunk_size=min_chunk_size,
+                             violation_policy=violation_policy,
+                             cov_timeout=cov_timeout)
+    return tiny_config(ConsistencyModel.SC, spec, **kwargs)
+
+
+def aso_config(**kwargs) -> SystemConfig:
+    """Tiny config running the ASO baseline."""
+    spec = SpeculationConfig(mode=SpeculationMode.ASO, num_checkpoints=2,
+                             aso_checkpoint_interval=16)
+    return tiny_config(ConsistencyModel.SC, spec, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Trace and system construction helpers
+# ---------------------------------------------------------------------------
+
+def make_trace(ops_by_core: Sequence[Sequence[MemOp]],
+               name: str = "test") -> MultiThreadedTrace:
+    """Build a multi-threaded trace from per-core op lists."""
+    traces = [Trace(list(ops), thread_id=i) for i, ops in enumerate(ops_by_core)]
+    return MultiThreadedTrace(traces, name=name)
+
+
+def make_system(ops_by_core: Sequence[Sequence[MemOp]],
+                config: SystemConfig) -> System:
+    """Wire a system for hand-written per-core op lists."""
+    return build_system(config, make_trace(ops_by_core))
+
+
+def run_system(system: System):
+    """Run a hand-built system to completion and return the result."""
+    return Simulator(system).run()
+
+
+def run_ops(ops_by_core: Sequence[Sequence[MemOp]], config: SystemConfig):
+    """Convenience: build and run in one step."""
+    return run_system(make_system(ops_by_core, config))
+
+
+# Block-aligned addresses used throughout the directed tests.
+def block_addr(index: int) -> int:
+    """The byte address of test block ``index`` (64-byte blocks)."""
+    return index * 64
+
+
+# ---------------------------------------------------------------------------
+# Fixtures
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def sc_config() -> SystemConfig:
+    return tiny_config(ConsistencyModel.SC)
+
+
+@pytest.fixture
+def tso_config() -> SystemConfig:
+    return tiny_config(ConsistencyModel.TSO)
+
+
+@pytest.fixture
+def rmo_config() -> SystemConfig:
+    return tiny_config(ConsistencyModel.RMO)
+
+
+@pytest.fixture
+def invisi_sc_config() -> SystemConfig:
+    return selective_config(ConsistencyModel.SC)
+
+
+@pytest.fixture
+def invisi_rmo_config() -> SystemConfig:
+    return selective_config(ConsistencyModel.RMO)

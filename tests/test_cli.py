@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSimulateCommand:
+    def test_simulate_prints_summary(self, capsys):
+        code = main(["simulate", "--workload", "barnes", "--config", "invisi_sc",
+                     "--cores", "2", "--ops", "400", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "simulation summary" in out
+        assert "speedup vs sc" in out
+        assert "violation" in out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--workload", "doom"])
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--config", "bogus"])
+
+
+class TestFigureCommand:
+    def test_figure_1_runs_at_tiny_scale(self, capsys):
+        code = main(["figure", "1", "--cores", "2", "--ops", "300",
+                     "--workloads", "barnes"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 1" in out
+        assert "barnes" in out
+
+    def test_figure_10_runs_at_tiny_scale(self, capsys):
+        code = main(["figure", "10", "--cores", "2", "--ops", "300",
+                     "--workloads", "barnes", "--seeds", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 10" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "3"])
+
+
+class TestTablesCommand:
+    def test_tables_print_all_descriptive_figures(self, capsys):
+        code = main(["tables"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for token in ("Figure 2", "Figure 4", "Figure 5", "Figure 6", "Figure 7"):
+            assert token in out
+
+
+class TestParser:
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

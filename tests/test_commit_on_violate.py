@@ -1,0 +1,87 @@
+"""Directed tests for the commit-on-violate (CoV) policy."""
+
+from repro.config import ConsistencyModel, ViolationPolicy
+from repro.trace.ops import compute, load, store
+from tests.conftest import block_addr, continuous_config, run_ops, selective_config
+
+A = block_addr(1000)
+B = block_addr(2000)
+SHARED = block_addr(500)
+
+
+def conflict_ops():
+    """Core 0 speculates over SHARED while core 1 writes it."""
+    core0 = [store(A), load(SHARED)] + [compute(50)] * 20 + [load(B)]
+    core1 = [compute(300), store(SHARED)] + [compute(10)] * 5
+    return [core0, core1]
+
+
+def run_policy(policy, cov_timeout=4000, continuous=False):
+    if continuous:
+        config = continuous_config(violation_policy=policy, num_cores=2,
+                                   min_chunk_size=200, cov_timeout=cov_timeout,
+                                   memory_latency=600, hop_latency=50)
+    else:
+        config = selective_config(ConsistencyModel.SC, violation_policy=policy,
+                                  num_cores=2, cov_timeout=cov_timeout,
+                                  memory_latency=600, hop_latency=50)
+    return run_ops(conflict_ops(), config)
+
+
+class TestSelectiveCoV:
+    def test_abort_policy_aborts(self):
+        result = run_policy(ViolationPolicy.ABORT)
+        assert result.core_stats[0].aborts >= 1
+
+    def test_cov_converts_abort_into_commit(self):
+        result = run_policy(ViolationPolicy.COMMIT_ON_VIOLATE)
+        stats = result.core_stats[0]
+        assert stats.aborts == 0
+        assert stats.cov_commits >= 1
+        assert stats.violation == 0
+
+    def test_cov_preserves_speculative_work(self):
+        aborted = run_policy(ViolationPolicy.ABORT)
+        deferred = run_policy(ViolationPolicy.COMMIT_ON_VIOLATE)
+        # The aborted run discards work (violation cycles); CoV keeps it all.
+        assert aborted.core_stats[0].violation > 0
+        assert deferred.core_stats[0].violation == 0
+
+    def test_cov_delays_the_requester(self):
+        aborted = run_policy(ViolationPolicy.ABORT)
+        deferred = run_policy(ViolationPolicy.COMMIT_ON_VIOLATE)
+        # Core 1's conflicting store is held up while core 0 commits.
+        assert (deferred.core_stats[1].finish_time
+                >= aborted.core_stats[1].finish_time)
+
+    def test_tiny_timeout_falls_back_to_abort(self):
+        result = run_policy(ViolationPolicy.COMMIT_ON_VIOLATE, cov_timeout=1)
+        stats = result.core_stats[0]
+        # The store buffer cannot drain within one cycle, so the deferral
+        # expires and the speculation is aborted.
+        assert stats.cov_aborts >= 1 or stats.aborts >= 1
+        assert stats.cov_commits == 0
+
+    def test_accounting_identity_under_cov(self):
+        result = run_policy(ViolationPolicy.COMMIT_ON_VIOLATE)
+        for stats in result.core_stats:
+            assert stats.total_accounted() == stats.finish_time
+
+
+class TestContinuousCoV:
+    def test_cov_reduces_violation_cycles(self):
+        aborted = run_policy(ViolationPolicy.ABORT, continuous=True)
+        deferred = run_policy(ViolationPolicy.COMMIT_ON_VIOLATE, continuous=True)
+        assert (deferred.aggregate().violation <= aborted.aggregate().violation)
+
+    def test_cov_commits_recorded(self):
+        deferred = run_policy(ViolationPolicy.COMMIT_ON_VIOLATE, continuous=True)
+        stats = deferred.core_stats[0]
+        assert stats.cov_commits >= 1 or stats.aborts == 0
+
+    def test_continuous_cov_avoids_rollbacks(self):
+        aborted = run_policy(ViolationPolicy.ABORT, continuous=True)
+        deferred = run_policy(ViolationPolicy.COMMIT_ON_VIOLATE, continuous=True)
+        assert (deferred.core_stats[0].aborts
+                <= aborted.core_stats[0].aborts)
+        assert deferred.core_stats[0].violation <= aborted.core_stats[0].violation

@@ -1,0 +1,145 @@
+"""Directed tests for the conventional SC / TSO / RMO controllers.
+
+Each scenario constructs a tiny trace whose ordering behaviour under the
+Figure 2 rules is known, runs it on a small machine, and checks how the
+cycles were classified.
+"""
+
+from repro.config import ConsistencyModel
+from repro.trace.ops import atomic, compute, fence, load, store
+from tests.conftest import block_addr, run_ops, tiny_config
+
+# Private (per-core) and shared addresses used by the scenarios.
+A = block_addr(1000)
+B = block_addr(2000)
+C = block_addr(3000)
+
+
+def single_core(ops, config):
+    """Run ops on core 0 with an idle second core (the config needs 2+ cores)."""
+    result = run_ops([ops, [compute(1)]], config)
+    return result, result.core_stats[0]
+
+
+class TestSC:
+    def test_load_after_store_miss_stalls(self):
+        config = tiny_config(ConsistencyModel.SC)
+        result, stats = single_core([store(A), load(B)], config)
+        assert stats.sb_drain > 0
+
+    def test_load_with_empty_store_buffer_does_not_stall(self):
+        config = tiny_config(ConsistencyModel.SC)
+        # The compute bundle is long enough for the store to complete.
+        result, stats = single_core([store(A), compute(2000), load(B)], config)
+        assert stats.sb_drain == 0
+
+    def test_atomic_drains_store_buffer(self):
+        config = tiny_config(ConsistencyModel.SC)
+        result, stats = single_core([store(A), atomic(B)], config)
+        assert stats.sb_drain > 0
+
+    def test_fence_is_free_under_sc(self):
+        config = tiny_config(ConsistencyModel.SC)
+        with_fence, stats_fence = single_core([store(A), fence(), compute(2000)],
+                                              config)
+        without, stats_plain = single_core([store(A), compute(1), compute(2000)],
+                                           config)
+        assert stats_fence.sb_drain == 0
+        assert abs(stats_fence.finish_time - stats_plain.finish_time) <= 2
+
+    def test_stores_do_not_stall_retirement(self):
+        config = tiny_config(ConsistencyModel.SC)
+        result, stats = single_core([store(A), store(B), store(C)], config)
+        # Stores retire into the FIFO; only the end-of-trace drain waits.
+        assert stats.busy == 3
+        assert stats.sb_full == 0
+
+    def test_store_burst_fills_fifo(self):
+        config = tiny_config(ConsistencyModel.SC)
+        # 70 word stores to distinct blocks overflow the 64-entry FIFO.
+        ops = [store(block_addr(5000 + i)) for i in range(70)]
+        result, stats = single_core(ops, config)
+        assert stats.sb_full > 0
+
+
+class TestTSO:
+    def test_load_does_not_wait_for_store_buffer(self):
+        config = tiny_config(ConsistencyModel.TSO)
+        result, stats = single_core([store(A), load(B)], config)
+        assert stats.sb_drain == 0
+
+    def test_fence_drains_store_buffer(self):
+        config = tiny_config(ConsistencyModel.TSO)
+        result, stats = single_core([store(A), fence()], config)
+        assert stats.sb_drain > 0
+
+    def test_atomic_drains_store_buffer(self):
+        config = tiny_config(ConsistencyModel.TSO)
+        result, stats = single_core([store(A), atomic(B)], config)
+        assert stats.sb_drain > 0
+
+    def test_tso_faster_than_sc_on_load_after_store(self):
+        ops = [store(A), load(B), load(C)]
+        sc, sc_stats = single_core(ops, tiny_config(ConsistencyModel.SC))
+        tso, tso_stats = single_core(ops, tiny_config(ConsistencyModel.TSO))
+        assert tso_stats.finish_time < sc_stats.finish_time
+
+
+class TestRMO:
+    def test_fence_drains_store_buffer(self):
+        config = tiny_config(ConsistencyModel.RMO)
+        result, stats = single_core([store(A), fence()], config)
+        assert stats.sb_drain > 0
+
+    def test_fence_with_empty_buffer_is_free(self):
+        config = tiny_config(ConsistencyModel.RMO)
+        result, stats = single_core([fence(), fence()], config)
+        assert stats.sb_drain == 0
+
+    def test_atomic_does_not_drain_but_waits_for_own_block(self):
+        config = tiny_config(ConsistencyModel.RMO)
+        # Atomic to a block already held in Modified state: no stall at all.
+        result, stats = single_core([store(A), compute(2000), store(A), atomic(A)],
+                                    config)
+        assert stats.sb_drain == 0
+
+    def test_atomic_miss_stalls(self):
+        config = tiny_config(ConsistencyModel.RMO)
+        result, stats = single_core([atomic(B)], config)
+        assert stats.sb_drain > 0
+
+    def test_store_hits_bypass_store_buffer(self):
+        config = tiny_config(ConsistencyModel.RMO)
+        # Bring the block in with a store miss, wait, then store again: the
+        # second store hits and a following fence finds an empty buffer.
+        result, stats = single_core([store(A), compute(2000), store(A), fence()],
+                                    config)
+        assert stats.sb_drain == 0
+
+    def test_coalescing_buffer_absorbs_block_bursts(self):
+        # A burst writing every word of 6 blocks: the FIFO of TSO sees 48
+        # stores, the coalescing buffer of RMO only 6 block entries.
+        ops = []
+        for i in range(6):
+            base = block_addr(7000 + i)
+            ops.extend(store(base + w * 8) for w in range(8))
+        tso, tso_stats = single_core(list(ops), tiny_config(ConsistencyModel.TSO))
+        rmo, rmo_stats = single_core(list(ops), tiny_config(ConsistencyModel.RMO))
+        assert rmo_stats.sb_full == 0
+        assert rmo_stats.finish_time <= tso_stats.finish_time
+
+
+class TestOrderingAcrossModels:
+    def test_ordering_stall_ranking_on_sync_heavy_trace(self):
+        ops = []
+        for i in range(20):
+            ops.append(store(block_addr(8000 + i)))
+            ops.append(atomic(block_addr(100)))
+            ops.append(fence())
+            ops.extend([load(block_addr(9000 + i)), compute(3)])
+        results = {}
+        for model in (ConsistencyModel.SC, ConsistencyModel.TSO, ConsistencyModel.RMO):
+            result, stats = single_core(list(ops), tiny_config(model))
+            results[model] = stats.ordering_stall_cycles()
+        assert results[ConsistencyModel.SC] >= results[ConsistencyModel.TSO]
+        assert results[ConsistencyModel.TSO] >= results[ConsistencyModel.RMO]

@@ -1,0 +1,85 @@
+"""Tests for repro.cpu.stats (cycle classification and rollback accounting)."""
+
+import pytest
+
+from repro.cpu.stats import BREAKDOWN_COMPONENTS, STALL_CLASSES, CoreStats
+
+
+class TestBasicAccounting:
+    def test_initial_state_is_zero(self):
+        stats = CoreStats()
+        assert stats.total_accounted() == 0
+        assert all(value == 0 for value in stats.breakdown().values())
+
+    def test_add_cycles(self):
+        stats = CoreStats()
+        stats.add_cycles("busy", 10)
+        stats.add_cycles("other", 5)
+        stats.add_cycles("sb_drain", 3)
+        assert stats.busy == 10
+        assert stats.total_accounted() == 18
+
+    def test_add_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CoreStats().add_cycles("busy", -1)
+
+    def test_ordering_stall_cycles(self):
+        stats = CoreStats(sb_full=5, sb_drain=7, violation=3, busy=100)
+        assert stats.ordering_stall_cycles() == 15
+
+    def test_breakdown_components_constant(self):
+        assert set(BREAKDOWN_COMPONENTS) == {"busy", "other", "sb_full", "sb_drain",
+                                             "violation"}
+        assert set(STALL_CLASSES) < set(BREAKDOWN_COMPONENTS)
+
+
+class TestRollback:
+    def test_rollback_restores_work_and_charges_violation(self):
+        stats = CoreStats()
+        stats.add_cycles("busy", 100)
+        snapshot = stats.snapshot()
+        stats.add_cycles("busy", 40)
+        stats.add_cycles("other", 60)
+        stats.rollback_to(snapshot, elapsed=120)
+        assert stats.busy == 100
+        assert stats.other == 0
+        assert stats.violation == 120
+        assert stats.total_accounted() == 220
+
+    def test_rollback_is_cumulative(self):
+        stats = CoreStats()
+        snap = stats.snapshot()
+        stats.rollback_to(snap, elapsed=50)
+        stats.rollback_to(snap, elapsed=30)
+        assert stats.violation == 80
+
+    def test_rollback_rejects_negative_elapsed(self):
+        stats = CoreStats()
+        with pytest.raises(ValueError):
+            stats.rollback_to(stats.snapshot(), elapsed=-1)
+
+    def test_snapshot_excludes_violation(self):
+        stats = CoreStats()
+        stats.add_cycles("violation", 10)
+        assert "violation" not in stats.snapshot()
+
+
+class TestMergeAndReset:
+    def test_merge_sums_counters(self):
+        a = CoreStats(busy=10, other=5, commits=2, loads=7, finish_time=100)
+        b = CoreStats(busy=20, sb_drain=3, commits=1, loads=4, finish_time=150)
+        a.merge(b)
+        assert a.busy == 30
+        assert a.sb_drain == 3
+        assert a.commits == 3
+        assert a.loads == 11
+        assert a.finish_time == 150
+
+    def test_reset_measurement_zeroes_everything(self):
+        stats = CoreStats(busy=10, other=5, violation=2, commits=3, loads=9,
+                          spec_cycles=40)
+        stats.reset_measurement()
+        assert stats.total_accounted() == 0
+        assert stats.commits == 0
+        assert stats.loads == 0
+        assert stats.spec_cycles == 0

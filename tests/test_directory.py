@@ -1,0 +1,92 @@
+"""Tests for the full-map directory and the shared L2."""
+
+import pytest
+
+from repro.coherence.directory import Directory, DirectoryEntry
+from repro.coherence.l2 import L2Cache
+from repro.config import CacheConfig
+from repro.errors import CoherenceError
+
+
+class TestDirectoryEntry:
+    def test_initial_state_uncached(self):
+        entry = DirectoryEntry(address=0)
+        assert entry.is_uncached
+        assert not entry.is_shared
+        assert not entry.is_modified
+        assert entry.holders() == set()
+
+    def test_shared_state(self):
+        entry = DirectoryEntry(address=0, sharers={1, 2})
+        assert entry.is_shared
+        assert entry.holders() == {1, 2}
+
+    def test_modified_state(self):
+        entry = DirectoryEntry(address=0, owner=3)
+        assert entry.is_modified
+        assert entry.holders() == {3}
+
+    def test_invariant_check(self):
+        entry = DirectoryEntry(address=0, owner=1, sharers={2})
+        with pytest.raises(CoherenceError):
+            entry.check()
+
+
+class TestDirectory:
+    def test_entry_created_on_demand(self):
+        directory = Directory(block_bytes=64)
+        assert directory.peek(0) is None
+        entry = directory.entry(0)
+        assert entry.address == 0
+        assert directory.peek(0) is entry
+        assert len(directory) == 1
+
+    def test_entry_is_stable(self):
+        directory = Directory(block_bytes=64)
+        assert directory.entry(128) is directory.entry(128)
+
+    def test_check_invariants_scans_all(self):
+        directory = Directory(block_bytes=64)
+        directory.entry(0).sharers.add(1)
+        directory.entry(64).owner = 2
+        directory.check_invariants()
+        directory.entry(128).owner = 1
+        directory.entry(128).sharers.add(3)
+        with pytest.raises(CoherenceError):
+            directory.check_invariants()
+
+    def test_iteration(self):
+        directory = Directory(block_bytes=64)
+        for i in range(5):
+            directory.entry(i * 64)
+        assert len(list(directory)) == 5
+
+
+class TestL2Cache:
+    def _l2(self, blocks: int = 16) -> L2Cache:
+        return L2Cache(CacheConfig(size_bytes=blocks * 64, associativity=4,
+                                   block_bytes=64, hit_latency=10))
+
+    def test_miss_then_hit(self):
+        l2 = self._l2()
+        assert not l2.probe(0)
+        l2.install(0)
+        assert l2.probe(0)
+        assert l2.hits == 1 and l2.misses == 1
+
+    def test_install_dirty(self):
+        l2 = self._l2()
+        l2.install_dirty(64)
+        assert l2.contains(64)
+
+    def test_eviction_bounded_by_capacity(self):
+        l2 = self._l2(blocks=8)
+        for i in range(32):
+            l2.install(i * 64)
+        assert len(l2) <= 8
+
+    def test_dirty_evictions_counted(self):
+        l2 = self._l2(blocks=4)
+        for i in range(12):
+            l2.install_dirty(i * 64)
+        assert l2.writebacks > 0

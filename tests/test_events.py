@@ -1,0 +1,109 @@
+"""Tests for the discrete-event queue."""
+
+import pytest
+
+from repro.engine.events import EventQueue
+from repro.errors import SimulationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(30, lambda now: fired.append(("c", now)))
+        queue.schedule(10, lambda now: fired.append(("a", now)))
+        queue.schedule(20, lambda now: fired.append(("b", now)))
+        queue.run()
+        assert fired == [("a", 10), ("b", 20), ("c", 30)]
+
+    def test_ties_broken_by_insertion_order(self):
+        queue = EventQueue()
+        fired = []
+        for name in "abc":
+            queue.schedule(5, lambda now, n=name: fired.append(n))
+        queue.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_now_tracks_last_popped_event(self):
+        queue = EventQueue()
+        queue.schedule(42, lambda now: None)
+        queue.run()
+        assert queue.now == 42
+
+    def test_cannot_schedule_in_the_past(self):
+        queue = EventQueue()
+        queue.schedule(10, lambda now: None)
+        queue.run()
+        with pytest.raises(SimulationError):
+            queue.schedule(5, lambda now: None)
+
+    def test_events_scheduled_during_run_are_processed(self):
+        queue = EventQueue()
+        fired = []
+
+        def chain(now):
+            fired.append(now)
+            if now < 30:
+                queue.schedule(now + 10, chain)
+
+        queue.schedule(10, chain)
+        queue.run()
+        assert fired == [10, 20, 30]
+
+
+class TestCancellation:
+    def test_cancelled_events_do_not_fire(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.schedule(10, lambda now: fired.append("cancelled"))
+        queue.schedule(20, lambda now: fired.append("kept"))
+        event.cancel()
+        queue.run()
+        assert fired == ["kept"]
+
+    def test_len_ignores_cancelled(self):
+        queue = EventQueue()
+        event = queue.schedule(10, lambda now: None)
+        queue.schedule(20, lambda now: None)
+        assert len(queue) == 2
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_empty(self):
+        queue = EventQueue()
+        assert queue.empty()
+        event = queue.schedule(5, lambda now: None)
+        assert not queue.empty()
+        event.cancel()
+        assert queue.empty()
+
+
+class TestBoundedRun:
+    def test_until_bound(self):
+        queue = EventQueue()
+        fired = []
+        for t in (10, 20, 30):
+            queue.schedule(t, lambda now: fired.append(now))
+        count = queue.run(until=20)
+        assert count == 2
+        assert fired == [10, 20]
+        queue.run()
+        assert fired == [10, 20, 30]
+
+    def test_max_events_bound(self):
+        queue = EventQueue()
+        fired = []
+        for t in (10, 20, 30):
+            queue.schedule(t, lambda now: fired.append(now))
+        queue.run(max_events=1)
+        assert fired == [10]
+
+    def test_processed_counter(self):
+        queue = EventQueue()
+        for t in (1, 2, 3):
+            queue.schedule(t, lambda now: None)
+        queue.run()
+        assert queue.processed == 3
+
+    def test_pop_returns_none_when_empty(self):
+        assert EventQueue().pop() is None

@@ -1,0 +1,112 @@
+"""Tests for repro.interconnect (torus topology and latency model)."""
+
+import pytest
+
+from repro.config import InterconnectConfig, paper_config
+from repro.errors import ConfigurationError
+from repro.interconnect.latency import LatencyModel
+from repro.interconnect.topology import TorusTopology
+
+
+def torus(width: int = 4, height: int = 4, hop: int = 100) -> TorusTopology:
+    return TorusTopology(InterconnectConfig(mesh_width=width, mesh_height=height,
+                                            hop_latency=hop))
+
+
+class TestTopology:
+    def test_coordinates_roundtrip(self):
+        topo = torus()
+        for node in range(topo.num_nodes):
+            x, y = topo.coordinates(node)
+            assert topo.node_at(x, y) == node
+
+    def test_rejects_invalid_node(self):
+        topo = torus()
+        with pytest.raises(ConfigurationError):
+            topo.coordinates(16)
+        with pytest.raises(ConfigurationError):
+            topo.node_at(4, 0)
+
+    def test_distance_to_self_is_zero(self):
+        topo = torus()
+        for node in range(topo.num_nodes):
+            assert topo.hops(node, node) == 0
+
+    def test_distance_is_symmetric(self):
+        topo = torus()
+        for a in range(topo.num_nodes):
+            for b in range(topo.num_nodes):
+                assert topo.hops(a, b) == topo.hops(b, a)
+
+    def test_adjacent_nodes_one_hop(self):
+        topo = torus()
+        assert topo.hops(0, 1) == 1
+        assert topo.hops(0, 4) == 1
+
+    def test_wraparound_links(self):
+        topo = torus()
+        # Node 0 and node 3 are adjacent through the wrap-around link.
+        assert topo.hops(0, 3) == 1
+        # Opposite corners of a 4x4 torus are at most 2+2 hops away.
+        assert topo.hops(0, 15) <= 4
+
+    def test_max_distance_on_4x4_torus(self):
+        topo = torus()
+        assert max(topo.hops(0, n) for n in range(16)) == 4
+
+    def test_triangle_inequality(self):
+        topo = torus()
+        for a in range(16):
+            for b in range(16):
+                for c in (0, 5, 10, 15):
+                    assert topo.hops(a, b) <= topo.hops(a, c) + topo.hops(c, b)
+
+    def test_home_node_distribution(self):
+        topo = torus()
+        homes = {topo.home_node(i * 64, 64) for i in range(64)}
+        assert homes == set(range(16))
+
+    def test_home_node_stable_within_block(self):
+        topo = torus()
+        assert topo.home_node(0, 64) == topo.home_node(0, 64)
+
+
+class TestLatencyModel:
+    def test_network_latency_scales_with_hops(self):
+        config = paper_config()
+        model = LatencyModel(config)
+        assert model.network(0, 0) == 0
+        assert model.network(0, 1) == config.interconnect.hop_latency
+        assert model.network(0, 2) == 2 * config.interconnect.hop_latency
+
+    def test_directory_access_includes_memory_on_miss(self):
+        config = paper_config()
+        model = LatencyModel(config)
+        hit = model.directory_access(l2_hit=True)
+        miss = model.directory_access(l2_hit=False)
+        assert miss == hit + config.memory_latency
+
+    def test_owner_forward_is_three_hop(self):
+        config = paper_config()
+        model = LatencyModel(config)
+        lat = model.owner_forward(home=0, owner=1, requester=2)
+        expected = (model.network(0, 1) + config.l1.hit_latency + model.network(1, 2))
+        assert lat == expected
+
+    def test_invalidation_round_takes_worst_sharer(self):
+        config = paper_config()
+        model = LatencyModel(config)
+        near = model.invalidation_round(home=0, sharers=[1], requester=0)
+        far = model.invalidation_round(home=0, sharers=[1, 10], requester=0)
+        assert far >= near
+
+    def test_invalidation_round_skips_requester(self):
+        model = LatencyModel(paper_config())
+        assert model.invalidation_round(home=0, sharers=[5], requester=5) == 0
+
+    def test_writeback_latency(self):
+        config = paper_config()
+        model = LatencyModel(config)
+        assert model.writeback(1, 1) == config.directory_latency
+        assert model.writeback(0, 1) == (config.interconnect.hop_latency
+                                         + config.directory_latency)

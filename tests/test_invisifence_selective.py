@@ -1,0 +1,204 @@
+"""Directed tests for INVISIFENCE-SELECTIVE.
+
+These check the speculation triggers for each enforced model, the
+opportunistic commit, violation detection and rollback, the forward
+progress rule, forced commits on speculative evictions, and the
+two-checkpoint variant.
+"""
+
+from repro.config import ConsistencyModel, ViolationPolicy
+from repro.trace.ops import atomic, compute, fence, load, store
+from tests.conftest import block_addr, make_system, run_ops, run_system, selective_config
+
+A = block_addr(1000)
+B = block_addr(2000)
+C = block_addr(3000)
+SHARED = block_addr(500)
+
+
+def single_core(ops, config):
+    result = run_ops([ops, [compute(1)]], config)
+    return result, result.core_stats[0]
+
+
+class TestTriggers:
+    def test_sc_load_past_store_miss_speculates_instead_of_stalling(self):
+        config = selective_config(ConsistencyModel.SC)
+        result, stats = single_core([store(A), load(B)], config)
+        assert stats.speculations >= 1
+        assert stats.sb_drain == 0
+        assert stats.commits >= 1
+
+    def test_sc_no_speculation_when_store_buffer_empty(self):
+        config = selective_config(ConsistencyModel.SC)
+        result, stats = single_core([store(A), compute(2000), load(B)], config)
+        assert stats.speculations == 0
+
+    def test_tso_load_does_not_trigger_speculation(self):
+        config = selective_config(ConsistencyModel.TSO)
+        result, stats = single_core([store(A), load(B), compute(2000)], config)
+        assert stats.speculations == 0
+
+    def test_tso_store_past_store_miss_triggers(self):
+        config = selective_config(ConsistencyModel.TSO)
+        result, stats = single_core([store(A), store(B)], config)
+        assert stats.speculations >= 1
+
+    def test_rmo_fence_past_store_miss_triggers(self):
+        config = selective_config(ConsistencyModel.RMO)
+        result, stats = single_core([store(A), fence(), compute(2000)], config)
+        assert stats.speculations >= 1
+        assert stats.sb_drain == 0
+
+    def test_rmo_plain_loads_and_stores_never_speculate(self):
+        config = selective_config(ConsistencyModel.RMO)
+        result, stats = single_core([store(A), load(B), store(C), load(A)], config)
+        assert stats.speculations == 0
+
+    def test_atomic_miss_triggers_speculation(self):
+        config = selective_config(ConsistencyModel.RMO)
+        result, stats = single_core([atomic(B), compute(2000)], config)
+        assert stats.speculations >= 1
+        assert stats.sb_drain == 0
+
+    def test_fences_retire_freely_during_speculation(self):
+        config = selective_config(ConsistencyModel.RMO)
+        result, stats = single_core([store(A), fence(), fence(), fence(),
+                                     compute(2000)], config)
+        assert stats.speculations == 1
+        assert stats.fences == 3
+        assert stats.sb_drain == 0
+
+
+class TestCommit:
+    def test_commit_happens_once_store_buffer_drains(self):
+        config = selective_config(ConsistencyModel.SC)
+        result, stats = single_core([store(A), load(B), compute(3000), load(C)],
+                                    config)
+        assert stats.commits >= 1
+        assert stats.aborts == 0
+        # Speculation ends well before the trace does.
+        assert stats.spec_cycles < stats.finish_time
+
+    def test_commit_clears_speculative_bits(self):
+        config = selective_config(ConsistencyModel.SC)
+        system = make_system([[store(A), load(B), compute(3000), load(C)],
+                              [compute(1)]], config)
+        run_system(system)
+        l1 = system.memory.l1(0)
+        assert not any(block.speculative for block in l1.blocks())
+
+    def test_speculation_eliminates_ordering_stalls_vs_conventional(self):
+        from tests.conftest import tiny_config
+        ops = []
+        for i in range(10):
+            ops.extend([store(block_addr(4000 + i)), load(block_addr(6000 + i)),
+                        atomic(block_addr(100)), compute(5)])
+        conventional, conv_stats = single_core(list(ops),
+                                               tiny_config(ConsistencyModel.SC))
+        invisi, inv_stats = single_core(list(ops),
+                                        selective_config(ConsistencyModel.SC))
+        assert inv_stats.sb_drain < conv_stats.sb_drain
+        assert inv_stats.finish_time < conv_stats.finish_time
+
+
+class TestViolations:
+    @staticmethod
+    def _conflict_config(**kwargs):
+        return selective_config(ConsistencyModel.SC, num_cores=2,
+                                memory_latency=600, hop_latency=50, **kwargs)
+
+    def _conflict_ops(self):
+        """Core 0 speculates over SHARED; core 1 later writes SHARED."""
+        core0 = [store(A), load(SHARED)] + [compute(50)] * 20 + [load(B)]
+        core1 = [compute(300), store(SHARED)] + [compute(10)] * 5
+        return [core0, core1]
+
+    def test_external_write_aborts_speculation(self):
+        config = self._conflict_config()
+        result = run_ops(self._conflict_ops(), config)
+        stats = result.core_stats[0]
+        assert stats.aborts >= 1
+        assert stats.violation > 0
+        assert stats.replayed_ops > 0
+
+    def test_aborted_work_not_double_counted(self):
+        config = self._conflict_config()
+        result = run_ops(self._conflict_ops(), config)
+        for stats in result.core_stats:
+            assert stats.total_accounted() == stats.finish_time
+
+    def test_execution_completes_despite_violations(self):
+        config = self._conflict_config()
+        result = run_ops(self._conflict_ops(), config)
+        assert result.runtime > 0
+
+    def test_forward_progress_after_abort(self):
+        # After an abort the next operation executes non-speculatively, so
+        # repeated conflicts cannot livelock the core.
+        config = self._conflict_config()
+        core0 = [store(A), load(SHARED), compute(2000), load(SHARED), compute(2000)]
+        core1 = [compute(300), store(SHARED), compute(800), store(SHARED)]
+        result = run_ops([core0, core1], config)
+        assert result.core_stats[0].finish_time > 0
+
+    def test_external_read_to_spec_written_block_aborts(self):
+        config = self._conflict_config()
+        core0 = [store(A), store(SHARED)] + [compute(50)] * 20
+        core1 = [compute(300), load(SHARED)]
+        result = run_ops([core0, core1], config)
+        assert result.core_stats[0].aborts >= 1
+
+
+class TestForcedCommit:
+    def test_eviction_pressure_forces_commit(self):
+        # A 4-block (2 sets x 2 ways) L1: once both ways of a set hold
+        # speculatively accessed blocks, a further fill to that set must
+        # force a commit rather than evict speculative state.
+        config = selective_config(ConsistencyModel.SC, l1_blocks=4, l1_assoc=2,
+                                  memory_latency=600, hop_latency=50)
+        num_sets = config.l1.num_sets
+        x1, x2, x3 = (block_addr(10_000 + i * num_sets) for i in range(3))
+        a_odd = block_addr(10_001)  # maps to the other set
+        ops = [load(x2), load(x3), compute(5000),      # warm the target set
+               store(a_odd),                           # long store miss
+               load(x2), load(x3),                     # pin both ways speculatively
+               load(x1),                               # forces the commit
+               compute(5000)]
+        result, stats = single_core(ops, config)
+        assert stats.forced_commits >= 1
+        assert stats.commits >= 1
+
+
+class TestTwoCheckpoints:
+    def test_second_checkpoint_taken_during_long_speculation(self):
+        config = selective_config(ConsistencyModel.SC, num_checkpoints=2)
+        threshold = config.speculation.second_checkpoint_threshold
+        ops = [store(A)] + [load(block_addr(12_000 + i)) for i in range(threshold + 8)]
+        system = make_system([ops, [compute(1)]], config)
+        result = run_system(system)
+        stats = result.core_stats[0]
+        # More checkpoints than commits were created (the second checkpoint
+        # piggybacks on the same speculation episode).
+        assert stats.speculations >= 1
+        assert stats.commits >= 1
+
+    def test_two_checkpoints_reduce_discarded_work(self):
+        """A conflict on a block touched late only rolls back to the second
+        checkpoint, so less work is replayed than with a single checkpoint."""
+        def ops_for_run():
+            core0 = [store(A)]
+            core0 += [load(block_addr(13_000 + i)) for i in range(70)]
+            core0 += [load(SHARED)]
+            core0 += [compute(40)] * 10
+            core1 = [compute(2500), store(SHARED), compute(10)]
+            return [core0, core1]
+
+        one = run_ops(ops_for_run(),
+                      selective_config(ConsistencyModel.SC, num_checkpoints=1,
+                                       memory_latency=400, hop_latency=50))
+        two = run_ops(ops_for_run(),
+                      selective_config(ConsistencyModel.SC, num_checkpoints=2,
+                                       memory_latency=400, hop_latency=50))
+        if one.core_stats[0].aborts and two.core_stats[0].aborts:
+            assert two.core_stats[0].replayed_ops <= one.core_stats[0].replayed_ops

@@ -1,0 +1,195 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CacheConfig, ConsistencyModel, StoreBufferConfig, StoreBufferKind
+from repro.cpu.stats import CoreStats, STALL_CLASSES
+from repro.cpu.store_buffer import CoalescingStoreBuffer, FIFOStoreBuffer
+from repro.engine.events import EventQueue
+from repro.engine.simulator import simulate
+from repro.memory.address import block_address, block_offset, same_block, word_address
+from repro.memory.block import CoherenceState
+from repro.memory.cache import CacheArray
+from repro.trace.ops import OpKind
+from repro.workloads.generator import generate_workload
+from repro.workloads.spec import WorkloadSpec
+from tests.conftest import make_trace, tiny_config
+from repro.trace.ops import compute, load, store
+
+
+addresses = st.integers(min_value=0, max_value=2 ** 40)
+block_sizes = st.sampled_from([32, 64, 128, 256])
+
+
+class TestAddressProperties:
+    @given(addresses, block_sizes)
+    def test_block_address_is_idempotent_and_aligned(self, addr, block):
+        aligned = block_address(addr, block)
+        assert aligned % block == 0
+        assert aligned <= addr
+        assert block_address(aligned, block) == aligned
+
+    @given(addresses, block_sizes)
+    def test_offset_within_block(self, addr, block):
+        assert 0 <= block_offset(addr, block) < block
+        assert block_address(addr, block) + block_offset(addr, block) == addr
+
+    @given(addresses, addresses, block_sizes)
+    def test_same_block_consistent_with_block_address(self, a, b, block):
+        assert same_block(a, b, block) == (block_address(a, block) == block_address(b, block))
+
+    @given(addresses)
+    def test_word_address_aligned(self, addr):
+        assert word_address(addr) % 8 == 0
+        assert 0 <= addr - word_address(addr) < 8
+
+
+class TestCacheArrayProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=400), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_capacity_and_uniqueness(self, block_indices):
+        cache = CacheArray(CacheConfig(size_bytes=16 * 64, associativity=2,
+                                       block_bytes=64, hit_latency=1))
+        for index in block_indices:
+            addr = index * 64
+            result = cache.prepare_fill(addr)
+            assert not result.requires_forced_commit
+            cache.install(addr, CoherenceState.SHARED)
+            assert cache.contains(addr)
+        assert len(cache) <= 16
+        seen = [b.address for b in cache.blocks()]
+        assert len(seen) == len(set(seen))
+
+    @given(st.lists(st.tuples(st.integers(0, 60), st.booleans()), min_size=1,
+                    max_size=80))
+    @settings(max_examples=50)
+    def test_flash_operations_leave_no_spec_bits(self, accesses):
+        cache = CacheArray(CacheConfig(size_bytes=32 * 64, associativity=4,
+                                       block_bytes=64, hit_latency=1))
+        for index, is_write in accesses:
+            addr = index * 64
+            result = cache.prepare_fill(addr)
+            if result.requires_forced_commit:
+                cache.flash_clear_spec_bits()
+                result = cache.prepare_fill(addr)
+            block = cache.install(addr, CoherenceState.MODIFIED if is_write
+                                  else CoherenceState.SHARED, dirty=is_write)
+            if is_write:
+                block.mark_spec_written(1)
+            else:
+                block.mark_spec_read(1)
+        cache.flash_invalidate_spec_written()
+        assert not any(b.speculative for b in cache.blocks())
+        # No speculatively written block survived.
+        assert all(not b.dirty or b.spec_written is None for b in cache.blocks())
+
+
+store_ops = st.lists(
+    st.tuples(st.integers(0, 40), st.integers(0, 500), st.booleans()),
+    min_size=1, max_size=60,
+)
+
+
+class TestStoreBufferProperties:
+    @given(store_ops)
+    @settings(max_examples=50)
+    def test_fifo_release_monotonic_and_bounded(self, ops):
+        sb = FIFOStoreBuffer(StoreBufferConfig(StoreBufferKind.FIFO_WORD, 64, 8))
+        releases = []
+        now = 0
+        for index, latency, spec in ops:
+            if sb.is_full(now):
+                now = sb.next_free_slot_time(now)
+            entry = sb.add_store(index * 8, now, now + latency, speculative=spec,
+                                 checkpoint_id=1 if spec else None)
+            releases.append(entry.release_time)
+            assert sb.occupancy(now) <= sb.capacity
+        assert releases == sorted(releases)
+        assert sb.drain_time(now) >= max(releases)
+        assert sb.drain_time(now) == max(sb.drain_time(now), now)
+
+    @given(store_ops)
+    @settings(max_examples=50)
+    def test_coalescing_capacity_and_nonnegative_queries(self, ops):
+        sb = CoalescingStoreBuffer(
+            StoreBufferConfig(StoreBufferKind.COALESCING_BLOCK, 8, 64))
+        now = 0
+        for index, latency, spec in ops:
+            if sb.is_full(now):
+                now = sb.next_free_slot_time(now)
+            sb.add_store(index * 64, now, now + latency, speculative=spec,
+                         checkpoint_id=1 if spec else None)
+            assert sb.occupancy(now) <= sb.capacity
+            assert sb.drain_time(now) >= now
+            assert sb.next_free_slot_time(now) >= now
+        # Queries never mutate state: repeated queries agree.
+        assert sb.drain_time(now) == sb.drain_time(now)
+        dropped = sb.flash_invalidate_speculative(now)
+        assert dropped >= 0
+        assert all(not e.speculative for e in sb.entries(now))
+
+
+class TestEventQueueProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1,
+                    max_size=200))
+    @settings(max_examples=50)
+    def test_events_fire_in_nondecreasing_time_order(self, times):
+        queue = EventQueue()
+        fired = []
+        for t in times:
+            queue.schedule(t, lambda now: fired.append(now))
+        queue.run()
+        assert fired == sorted(times)
+
+
+class TestStatsProperties:
+    @given(st.lists(st.tuples(st.sampled_from(STALL_CLASSES),
+                              st.integers(0, 1000)), max_size=50),
+           st.integers(0, 100_000))
+    def test_rollback_conserves_totals(self, additions, elapsed):
+        stats = CoreStats()
+        snapshot = stats.snapshot()
+        for category, cycles in additions:
+            stats.add_cycles(category, cycles)
+        before_violation = stats.violation
+        stats.rollback_to(snapshot, elapsed)
+        assert stats.violation == before_violation + elapsed
+        for category in STALL_CLASSES:
+            assert getattr(stats, category) == snapshot[category]
+
+
+class TestWorkloadProperties:
+    @given(st.integers(0, 2 ** 20), st.integers(1, 4),
+           st.floats(0.0, 1.0), st.floats(0.05, 1.0))
+    @settings(max_examples=20, deadline=None)
+    def test_generator_determinism_and_length(self, seed, threads, shared, locality):
+        spec = WorkloadSpec(name="prop", ops_per_thread=150,
+                            shared_fraction=shared, locality=locality,
+                            sync_interval=30.0)
+        a = generate_workload(spec, num_threads=threads, seed=seed)
+        b = generate_workload(spec, num_threads=threads, seed=seed)
+        assert a.total_ops() == threads * 150
+        for ta, tb in zip(a, b):
+            assert list(ta) == list(tb)
+
+
+class TestSimulationProperties:
+    @given(st.lists(st.tuples(st.integers(0, 30), st.sampled_from(["load", "store", "compute"])),
+                    min_size=1, max_size=60),
+           st.sampled_from(list(ConsistencyModel)))
+    @settings(max_examples=20, deadline=None)
+    def test_accounting_identity_for_random_traces(self, ops_desc, model):
+        ops = []
+        for index, kind in ops_desc:
+            addr = (1000 + index) * 64
+            if kind == "load":
+                ops.append(load(addr))
+            elif kind == "store":
+                ops.append(store(addr))
+            else:
+                ops.append(compute(1 + index % 5))
+        trace = make_trace([ops, [compute(1)]])
+        result = simulate(tiny_config(model), trace)
+        for stats in result.core_stats:
+            assert stats.total_accounted() == stats.finish_time
+        assert result.runtime == max(s.finish_time for s in result.core_stats)

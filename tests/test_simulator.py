@@ -1,0 +1,127 @@
+"""Tests for the simulation engine (system builder, simulator, results)."""
+
+import pytest
+
+from repro.config import ConsistencyModel, SpeculationConfig, SpeculationMode
+from repro.engine.results import RunResult, aggregate_breakdown
+from repro.engine.simulator import Simulator, simulate
+from repro.engine.system import build_system, make_controller
+from repro.errors import ConfigurationError, SimulationError
+from repro.trace.ops import compute, load, store
+from repro.trace.trace import MultiThreadedTrace, Trace
+from tests.conftest import block_addr, make_trace, tiny_config
+
+
+def small_trace(num_threads=2, ops=20):
+    traces = []
+    for t in range(num_threads):
+        thread_ops = []
+        for i in range(ops):
+            thread_ops.append(load(block_addr(1000 + t * 100 + i)))
+            thread_ops.append(compute(3))
+        traces.append(Trace(thread_ops, thread_id=t))
+    return MultiThreadedTrace(traces, name="small", seed=7)
+
+
+class TestBuildSystem:
+    def test_builds_one_core_per_config_core(self):
+        system = build_system(tiny_config(num_cores=2), small_trace(2))
+        assert len(system.cores) == 2
+        assert system.workload_name == "small"
+
+    def test_rejects_too_few_threads(self):
+        with pytest.raises(ConfigurationError):
+            build_system(tiny_config(num_cores=2), small_trace(1))
+
+    def test_extra_threads_ignored(self):
+        system = build_system(tiny_config(num_cores=2), small_trace(4))
+        assert len(system.cores) == 2
+
+    def test_rejects_bad_warmup_fraction(self):
+        with pytest.raises(ConfigurationError):
+            build_system(tiny_config(num_cores=2), small_trace(2), warmup_fraction=1.0)
+
+    def test_controller_selection(self):
+        cases = {
+            SpeculationMode.NONE: "Conventional",
+            SpeculationMode.SELECTIVE: "InvisiFenceSelective",
+            SpeculationMode.CONTINUOUS: "InvisiFenceContinuous",
+            SpeculationMode.ASO: "ASOController",
+        }
+        for mode, name_fragment in cases.items():
+            kwargs = {"num_checkpoints": 2} if mode in (SpeculationMode.CONTINUOUS,) else {}
+            config = tiny_config(ConsistencyModel.SC,
+                                 SpeculationConfig(mode=mode, **kwargs))
+            system = build_system(config, small_trace(2))
+            assert name_fragment in type(system.cores[0].controller).__name__
+
+
+class TestSimulator:
+    def test_run_completes_and_reports(self):
+        result = simulate(tiny_config(num_cores=2), small_trace(2))
+        assert result.runtime > 0
+        assert result.events_processed > 0
+        assert len(result.core_stats) == 2
+        assert result.workload == "small"
+        assert result.seed == 7
+
+    def test_determinism(self):
+        first = simulate(tiny_config(num_cores=2), small_trace(2))
+        second = simulate(tiny_config(num_cores=2), small_trace(2))
+        assert first.runtime == second.runtime
+        assert first.breakdown() == second.breakdown()
+
+    def test_event_cap_raises(self):
+        with pytest.raises(SimulationError):
+            simulate(tiny_config(num_cores=2), small_trace(2), max_events=3)
+
+    def test_warmup_reduces_measured_cycles(self):
+        full = simulate(tiny_config(num_cores=2), small_trace(2))
+        warmed = simulate(tiny_config(num_cores=2), small_trace(2),
+                          warmup_fraction=0.5)
+        assert warmed.cycles_per_core() < full.cycles_per_core()
+
+    def test_accounting_identity_without_warmup(self):
+        result = simulate(tiny_config(num_cores=2), small_trace(2))
+        for stats in result.core_stats:
+            assert stats.total_accounted() == stats.finish_time
+
+
+class TestRunResult:
+    def _result(self):
+        return simulate(tiny_config(num_cores=2), small_trace(2))
+
+    def test_aggregate_sums_cores(self):
+        result = self._result()
+        total = result.aggregate()
+        assert total.busy == sum(s.busy for s in result.core_stats)
+        assert total.loads == sum(s.loads for s in result.core_stats)
+
+    def test_breakdown_normalised_sums_to_one(self):
+        values = self._result().breakdown(normalize=True)
+        assert abs(sum(values.values()) - 1.0) < 1e-9
+
+    def test_speedup_over_self_is_one(self):
+        result = self._result()
+        assert result.speedup_over(result) == pytest.approx(1.0)
+
+    def test_ordering_and_speculation_fractions_bounded(self):
+        result = self._result()
+        assert 0.0 <= result.ordering_stall_fraction() <= 1.0
+        assert 0.0 <= result.speculation_fraction() <= 1.0
+
+    def test_summary_keys(self):
+        summary = self._result().summary()
+        for key in ("runtime", "cycles_per_core", "busy", "other", "violation",
+                    "ordering_stall_fraction", "commits", "aborts"):
+            assert key in summary
+
+    def test_aggregate_breakdown_over_runs(self):
+        result = self._result()
+        combined = aggregate_breakdown([result, result])
+        assert abs(sum(combined.values()) - 1.0) < 1e-9
+        normalised = aggregate_breakdown([result], normalize_to=result)
+        assert abs(sum(normalised.values()) - 1.0) < 1e-9
+
+    def test_empty_aggregate_breakdown(self):
+        assert sum(aggregate_breakdown([]).values()) == 0.0

@@ -1,0 +1,147 @@
+"""Tests for repro.trace (ops, containers, serialization)."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.ops import MemOp, OpKind, atomic, compute, fence, load, store
+from repro.trace.serialization import load_trace, save_trace
+from repro.trace.trace import MultiThreadedTrace, Trace
+
+
+class TestOps:
+    def test_constructors(self):
+        assert load(64).kind is OpKind.LOAD
+        assert store(64).kind is OpKind.STORE
+        assert atomic(64).kind is OpKind.ATOMIC
+        assert fence().kind is OpKind.FENCE
+        assert compute(5).kind is OpKind.COMPUTE
+
+    def test_memory_classification(self):
+        assert load(0).is_memory
+        assert store(0).is_memory
+        assert atomic(0).is_memory
+        assert not fence().is_memory
+        assert not compute(1).is_memory
+
+    def test_read_write_classification(self):
+        assert load(0).reads and not load(0).writes
+        assert store(0).writes and not store(0).reads
+        assert atomic(0).reads and atomic(0).writes
+
+    def test_labels(self):
+        op = atomic(128, label="lock_acquire")
+        assert op.label == "lock_acquire"
+        assert "lock_acquire" in op.describe()
+
+    def test_describe_mentions_address(self):
+        assert "0x40" in load(64).describe()
+        assert "fence" in fence().describe()
+        assert "5 cycles" in compute(5).describe()
+
+    def test_invalid_ops_rejected(self):
+        with pytest.raises(TraceError):
+            MemOp(OpKind.LOAD, address=-1)
+        with pytest.raises(TraceError):
+            MemOp(OpKind.STORE, address=0, size=0)
+        with pytest.raises(TraceError):
+            MemOp(OpKind.COMPUTE, cycles=0)
+
+    def test_ops_are_immutable(self):
+        op = load(64)
+        with pytest.raises(Exception):
+            op.address = 128
+
+
+class TestTrace:
+    def test_append_and_iterate(self):
+        trace = Trace()
+        trace.append(load(0))
+        trace.extend([store(64), fence()])
+        assert len(trace) == 3
+        assert [op.kind for op in trace] == [OpKind.LOAD, OpKind.STORE, OpKind.FENCE]
+        assert trace[1].kind is OpKind.STORE
+
+    def test_count_by_kind(self):
+        trace = Trace([load(0), load(64), store(0), fence(), compute(3)])
+        assert trace.count(OpKind.LOAD) == 2
+        assert trace.count(OpKind.STORE) == 1
+        assert trace.count(OpKind.ATOMIC) == 0
+
+    def test_instruction_weight_counts_compute_bundles(self):
+        trace = Trace([load(0), compute(10), store(0)])
+        assert trace.instruction_weight() == 12
+
+    def test_footprint(self):
+        trace = Trace([load(0), load(32), store(64), load(256)])
+        assert trace.footprint(64) == 3
+
+    def test_mix_sums_to_one(self):
+        trace = Trace([load(0), store(0), fence(), compute(2)])
+        mix = trace.mix()
+        assert abs(sum(mix.values()) - 1.0) < 1e-9
+
+    def test_empty_trace_mix(self):
+        assert all(v == 0.0 for v in Trace().mix().values())
+
+
+class TestMultiThreadedTrace:
+    def test_requires_at_least_one_thread(self):
+        with pytest.raises(TraceError):
+            MultiThreadedTrace([])
+
+    def test_thread_ids_assigned(self):
+        bundle = MultiThreadedTrace([Trace([load(0)]), Trace([store(0)])])
+        assert [t.thread_id for t in bundle] == [0, 1]
+        assert bundle.num_threads == 2
+        assert len(bundle) == 2
+
+    def test_total_ops(self):
+        bundle = MultiThreadedTrace([Trace([load(0)] * 3), Trace([store(0)] * 2)])
+        assert bundle.total_ops() == 5
+
+    def test_shared_blocks(self):
+        shared = 128
+        t0 = Trace([load(shared), load(0)])
+        t1 = Trace([store(shared), load(64 * 100)])
+        bundle = MultiThreadedTrace([t0, t1])
+        assert bundle.shared_blocks(64) == 1
+
+
+class TestSerialization:
+    def test_round_trip(self, tmp_path):
+        t0 = Trace([load(64, label="x"), store(128), fence(label="f"),
+                    compute(7), atomic(192, label="l")])
+        t1 = Trace([compute(2), load(0)])
+        bundle = MultiThreadedTrace([t0, t1], name="demo", seed=42)
+        path = tmp_path / "trace.jsonl"
+        save_trace(bundle, path)
+        loaded = load_trace(path)
+        assert loaded.name == "demo"
+        assert loaded.seed == 42
+        assert loaded.num_threads == 2
+        for original, restored in zip(bundle, loaded):
+            assert len(original) == len(restored)
+            for a, b in zip(original, restored):
+                assert a == b
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        bundle = MultiThreadedTrace([Trace([load(0), store(0)])], name="demo")
+        path = tmp_path / "trace.jsonl"
+        save_trace(bundle, path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"version": 99, "name": "x", "seed": 0, "threads": 0, '
+                        '"ops_per_thread": []}\n')
+        with pytest.raises(TraceError):
+            load_trace(path)
