@@ -2,13 +2,18 @@
 
 Times the simulation of one apache trace under the three kinds of
 controller, so performance regressions in the engine itself are visible
-independently of the figure harness.
+independently of the figure harness; the campaign benchmarks time the
+same cells through the executor cold (every cell simulated) and cached
+(every cell a disk hit), so executor overhead and cache regressions show
+up in the perf trajectory too.
 """
 
 import pytest
 
+from repro.campaign import CampaignExecutor, ResultCache, expand_jobs
 from repro.config import ConsistencyModel, SpeculationConfig, SpeculationMode, paper_config
 from repro.engine.simulator import simulate
+from repro.experiments.common import ExperimentSettings
 from repro.workloads.registry import build_trace
 
 _CORES = 4
@@ -43,3 +48,29 @@ def test_invisifence_selective_throughput(benchmark, trace):
 def test_invisifence_continuous_throughput(benchmark, trace):
     result = benchmark(simulate, _config(SpeculationMode.CONTINUOUS), trace)
     assert result.runtime > 0
+
+
+# -- campaign executor: cold vs cached ---------------------------------------
+
+_SWEEP_SETTINGS = ExperimentSettings.quick(num_cores=_CORES, ops_per_thread=_OPS,
+                                           workloads=("apache",), seeds=(3,))
+_SWEEP_CELLS = expand_jobs(("sc", "invisi_sc"), ("apache",), (3,))
+
+
+def test_campaign_cold_throughput(benchmark):
+    """Every round simulates every cell (no cache attached)."""
+    executor = CampaignExecutor(_SWEEP_SETTINGS, jobs=1)
+    results = benchmark(executor.run, _SWEEP_CELLS)
+    assert executor.last_report.simulated == len(_SWEEP_CELLS)
+    assert all(result.runtime > 0 for result in results)
+
+
+def test_campaign_cached_throughput(benchmark, tmp_path):
+    """Every round serves every cell from the on-disk result cache."""
+    executor = CampaignExecutor(_SWEEP_SETTINGS, jobs=1,
+                                cache=ResultCache(tmp_path / "cache"))
+    executor.run(_SWEEP_CELLS)  # warm the cache
+    results = benchmark(executor.run, _SWEEP_CELLS)
+    assert executor.last_report.simulated == 0
+    assert executor.last_report.cache_hits == len(_SWEEP_CELLS)
+    assert all(result.runtime > 0 for result in results)

@@ -2,23 +2,37 @@
 
 This is the script used to produce results/full_run.txt (the numbers quoted
 in EXPERIMENTS.md).  Scale is controlled by the constants below.
+
+The whole figure suite runs through one shared campaign: every
+(configuration, workload, seed) cell any figure needs is prefetched up
+front -- in parallel with ``--jobs N`` and served from the persistent
+result cache (results/cache/) when already simulated -- and the figure
+drivers then only format memoized results.
 """
-import sys, time
-from repro.experiments import (ExperimentSettings, ExperimentRunner, run_figure1,
-                               run_figure8, run_figure9, run_figure10, run_figure11,
-                               run_figure12, figure2_table, figure4_table,
-                               figure5_table, figure6_table, figure7_table)
+import argparse, time
+from repro.campaign import ResultCache
+from repro.experiments import (CONFIG_NAMES, ExperimentSettings, ExperimentRunner,
+                               run_figure1, run_figure8, run_figure9, run_figure10,
+                               run_figure11, run_figure12, figure2_table,
+                               figure4_table, figure5_table, figure6_table,
+                               figure7_table)
 
 NUM_CORES = 16
 OPS_PER_THREAD = 6000
 SEEDS = (1,)
 
-def main(out_path):
+def main(out_path, jobs=1, cache_dir="results/cache"):
     settings = ExperimentSettings(num_cores=NUM_CORES, ops_per_thread=OPS_PER_THREAD,
                                   seeds=SEEDS)
-    runner = ExperimentRunner(settings)
+    cache = ResultCache(cache_dir) if cache_dir else None
+    runner = ExperimentRunner(settings, jobs=jobs, cache=cache)
     sections = []
     start = time.time()
+    # The union of every figure's configurations is the full registry; one
+    # prefetch call fans all missing cells out over the worker pool.
+    runner.prefetch(CONFIG_NAMES)
+    print(f"campaign: {runner.executor.last_report.describe(cache)} "
+          f"in {time.time()-start:.0f}s (jobs={jobs})", flush=True)
     for name, fn in [("figure1", run_figure1), ("figure8", run_figure8),
                      ("figure9", run_figure9), ("figure10", run_figure10),
                      ("figure11", run_figure11), ("figure12", run_figure12)]:
@@ -41,4 +55,11 @@ def main(out_path):
     print(f"total {time.time()-start:.0f}s -> {out_path}")
 
 if __name__ == "__main__":
-    main(sys.argv[1] if len(sys.argv) > 1 else "results/full_run.txt")
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("out", nargs="?", default="results/full_run.txt")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for missing cells")
+    parser.add_argument("--cache-dir", default="results/cache",
+                        help="result cache directory ('' disables caching)")
+    args = parser.parse_args()
+    main(args.out, jobs=args.jobs, cache_dir=args.cache_dir)

@@ -23,6 +23,14 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured comparison of every figure.
 """
 
+from .campaign import (
+    CampaignExecutor,
+    ConfigRegistry,
+    DEFAULT_REGISTRY,
+    Job,
+    ResultCache,
+    expand_jobs,
+)
 from .config import (
     CacheConfig,
     ConsistencyModel,
@@ -65,6 +73,13 @@ __all__ = [
     "ConsistencyModel",
     "paper_config",
     "small_config",
+    # campaign
+    "CampaignExecutor",
+    "ConfigRegistry",
+    "DEFAULT_REGISTRY",
+    "Job",
+    "ResultCache",
+    "expand_jobs",
     # engine
     "RunResult",
     "Simulator",

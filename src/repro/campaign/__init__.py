@@ -1,0 +1,41 @@
+"""Campaign subsystem: declarative configs, parallel execution, caching.
+
+Regenerating the paper's figures is a large (configuration x workload x
+seed) cross-product of independent simulations.  This package turns that
+cross-product into an explicit *campaign*:
+
+* :mod:`~repro.campaign.registry` -- a declarative registry mapping
+  configuration short-names (``sc``, ``invisi_rmo``, ...) to config
+  factories, runtime-extensible for new machine variants;
+* :mod:`~repro.campaign.jobs` -- the hashable :class:`Job` cell model and
+  cross-product helpers;
+* :mod:`~repro.campaign.executor` -- :class:`CampaignExecutor`, which fans
+  cells out over a ``multiprocessing`` pool (deterministic serial path for
+  ``jobs=1``) and returns results in stable order;
+* :mod:`~repro.campaign.cache` -- :class:`ResultCache`, a content-addressed
+  on-disk store so re-running a figure only simulates missing cells.
+
+The experiment layer's :class:`~repro.experiments.common.ExperimentRunner`
+is a thin façade over these pieces; use this package directly for custom
+sweeps (see the CLI's ``sweep`` subcommand).
+"""
+
+from .cache import DEFAULT_CACHE_DIR, ResultCache, cache_key
+from .executor import CampaignExecutor, CampaignReport
+from .jobs import Job, dedupe_jobs, expand_jobs
+from .registry import DEFAULT_REGISTRY, ConfigFactory, ConfigRegistry, derived
+
+__all__ = [
+    "CampaignExecutor",
+    "CampaignReport",
+    "ConfigFactory",
+    "ConfigRegistry",
+    "DEFAULT_CACHE_DIR",
+    "DEFAULT_REGISTRY",
+    "Job",
+    "ResultCache",
+    "cache_key",
+    "dedupe_jobs",
+    "derived",
+    "expand_jobs",
+]

@@ -1,0 +1,95 @@
+"""Persistent on-disk cache of simulation results.
+
+Results are stored as one JSON file per cell under a cache root (default
+``results/cache/``), keyed by a SHA-256 content hash of everything that
+determines the simulation's outcome: the full :class:`SystemConfig`, the
+scaled :class:`WorkloadSpec`, the generator seed, the warmup fraction, and
+a schema version.  Any change to a configuration, a workload preset's
+calibration, or the result wire format therefore changes the key, so stale
+entries are simply never looked up again -- there is no invalidation logic
+to get wrong.
+
+Writes go through a temporary file and ``os.replace`` so that concurrent
+workers (or an interrupted run) never leave a half-written entry behind.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ..engine.results import RESULT_SCHEMA_VERSION, RunResult
+from ..config import SystemConfig
+from ..workloads.spec import WorkloadSpec
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = Path("results") / "cache"
+
+
+def cache_key(config: SystemConfig, spec: WorkloadSpec, seed: int,
+              warmup_fraction: float) -> str:
+    """Content hash identifying one simulation cell."""
+    payload: Dict[str, Any] = {
+        "schema": RESULT_SCHEMA_VERSION,
+        "config": config.to_dict(),
+        "workload": dataclasses.asdict(spec),
+        "seed": seed,
+        "warmup_fraction": warmup_fraction,
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed store of :class:`RunResult` JSON files."""
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[RunResult]:
+        """Load the cached result for ``key``, or ``None`` on a miss.
+
+        Unreadable or schema-incompatible entries count as misses.
+        """
+        path = self.path_for(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+            result = RunResult.from_json(text)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: RunResult) -> Path:
+        """Atomically persist ``result`` under ``key``."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+        tmp.write_text(result.to_json(), encoding="utf-8")
+        os.replace(tmp, path)
+        return path
+
+    def __len__(self) -> int:
+        """Number of entries currently on disk."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                path.unlink()
+                removed += 1
+        return removed

@@ -1,0 +1,157 @@
+"""Process-parallel campaign executor.
+
+A :class:`CampaignExecutor` runs a list of :class:`~repro.campaign.jobs.Job`
+cells and returns their :class:`~repro.engine.results.RunResult`\\ s in the
+order the jobs were given, regardless of how many worker processes computed
+them.  With ``jobs=1`` every cell runs in-process (the deterministic serial
+path); with ``jobs>1`` missing cells fan out over a ``multiprocessing``
+pool.  Because traces are generated deterministically from their seed and
+the simulator itself is deterministic, both paths produce bitwise-identical
+results.
+
+When a :class:`~repro.campaign.cache.ResultCache` is attached, cached cells
+are served from disk and only the missing cells are simulated; freshly
+simulated cells are written back, so a repeated campaign simulates nothing.
+
+Worker processes rebuild each trace from (workload, seed) rather than
+receiving it pickled: a trace is orders of magnitude bigger than its name
+and regenerating it is far cheaper than one simulation.  The serial path
+instead memoizes traces per (workload, seed) across the executor's
+lifetime, so a figure's many configurations share one trace build.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from ..config import SystemConfig
+from ..engine.results import RunResult
+from ..engine.simulator import simulate
+from ..trace.trace import MultiThreadedTrace
+from ..workloads.presets import preset
+from ..workloads.registry import build_trace
+from .cache import ResultCache, cache_key
+from .jobs import Job, dedupe_jobs
+from .registry import DEFAULT_REGISTRY, ConfigRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..experiments.common import ExperimentSettings
+
+#: (config, workload, seed, ops_per_thread, warmup_fraction) -- everything a
+#: worker needs to simulate one cell, all cheaply picklable.
+_CellPayload = Tuple[SystemConfig, str, int, int, float]
+
+
+def _simulate_cell(payload: _CellPayload) -> RunResult:
+    """Worker entry point: build the trace and simulate one cell."""
+    config, workload, seed, ops_per_thread, warmup_fraction = payload
+    trace = build_trace(workload, num_threads=config.num_cores,
+                        ops_per_thread=ops_per_thread, seed=seed)
+    return simulate(config, trace, warmup_fraction=warmup_fraction)
+
+
+@dataclass
+class CampaignReport:
+    """What one :meth:`CampaignExecutor.run` call actually did."""
+
+    total: int = 0
+    simulated: int = 0
+    cache_hits: int = 0
+    #: duplicate cells folded into one simulation.
+    deduplicated: int = 0
+
+    def describe(self, cache: Optional[ResultCache] = None) -> str:
+        """One-line human summary (shared by the CLI and scripts)."""
+        where = "no cache" if cache is None else str(cache.root)
+        return f"{self.simulated} simulated, {self.cache_hits} cache hits ({where})"
+
+
+class CampaignExecutor:
+    """Fans (config, workload, seed) cells out over worker processes."""
+
+    def __init__(self, settings: "ExperimentSettings", jobs: int = 1,
+                 cache: Optional[ResultCache] = None,
+                 registry: Optional[ConfigRegistry] = None) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.settings = settings
+        self.jobs = jobs
+        self.cache = cache
+        self.registry = registry if registry is not None else DEFAULT_REGISTRY
+        self.last_report = CampaignReport()
+        self._traces: Dict[Tuple[str, int], MultiThreadedTrace] = {}
+
+    # -- building blocks ----------------------------------------------------
+
+    def config_for(self, job: Job) -> SystemConfig:
+        return self.registry.make(job.config_name, self.settings)
+
+    def trace_for(self, workload: str, seed: int) -> MultiThreadedTrace:
+        """Build (or reuse) the trace for one (workload, seed) cell.
+
+        Memoized for the executor's lifetime: the in-process serial path
+        shares one trace across every configuration that replays it, as do
+        repeated campaigns through the same executor.
+        """
+        key = (workload, seed)
+        if key not in self._traces:
+            self._traces[key] = build_trace(
+                workload, num_threads=self.settings.num_cores,
+                ops_per_thread=self.settings.ops_per_thread, seed=seed)
+        return self._traces[key]
+
+    def key_for(self, job: Job) -> str:
+        """The cell's persistent cache key."""
+        spec = preset(job.workload).scaled(self.settings.ops_per_thread)
+        return cache_key(self.config_for(job), spec, job.seed,
+                         self.settings.warmup_fraction)
+
+    def _payload(self, job: Job) -> _CellPayload:
+        return (self.config_for(job), job.workload, job.seed,
+                self.settings.ops_per_thread, self.settings.warmup_fraction)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, jobs: Sequence[Job]) -> List[RunResult]:
+        """Run ``jobs``; returns results in the same order as the input."""
+        jobs = list(jobs)
+        unique = dedupe_jobs(jobs)
+        report = CampaignReport(total=len(jobs),
+                                deduplicated=len(jobs) - len(unique))
+
+        results: Dict[Job, RunResult] = {}
+        keys: Dict[Job, str] = {}
+        missing: List[Job] = []
+        for job in unique:
+            if self.cache is not None:
+                keys[job] = self.key_for(job)
+                cached = self.cache.get(keys[job])
+                if cached is not None:
+                    results[job] = cached
+                    report.cache_hits += 1
+                    continue
+            missing.append(job)
+
+        report.simulated = len(missing)
+        if missing:
+            workers = min(self.jobs, len(missing))
+            if workers > 1:
+                payloads = [self._payload(job) for job in missing]
+                with multiprocessing.Pool(processes=workers) as pool:
+                    simulated = pool.map(_simulate_cell, payloads, chunksize=1)
+            else:
+                simulated = [
+                    simulate(self.config_for(job),
+                             self.trace_for(job.workload, job.seed),
+                             warmup_fraction=self.settings.warmup_fraction)
+                    for job in missing
+                ]
+            for job, result in zip(missing, simulated):
+                results[job] = result
+                if self.cache is not None:
+                    self.cache.put(keys[job], result)
+
+        self.last_report = report
+        return [results[job] for job in jobs]

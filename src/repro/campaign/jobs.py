@@ -1,0 +1,45 @@
+"""The campaign job model.
+
+A :class:`Job` names one cell of the evaluation cross-product: a machine
+configuration short-name, a workload preset name, and a generator seed.
+Jobs are hashable and ordered, so they can key caches and be deduplicated
+while preserving a stable, reproducible execution order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+
+@dataclass(frozen=True, order=True)
+class Job:
+    """One (configuration, workload, seed) cell of a campaign."""
+
+    config_name: str
+    workload: str
+    seed: int = 1
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.config_name}/{self.workload}@{self.seed}"
+
+
+def expand_jobs(config_names: Iterable[str], workloads: Iterable[str],
+                seeds: Iterable[int]) -> List[Job]:
+    """Cross-product of configurations, workloads, and seeds.
+
+    The order is configuration-major, then workload, then seed -- the order
+    every figure driver iterates in, so parallel and serial campaigns report
+    results identically.
+    """
+    workloads = tuple(workloads)
+    seeds = tuple(seeds)
+    return [Job(config, workload, seed)
+            for config in config_names
+            for workload in workloads
+            for seed in seeds]
+
+
+def dedupe_jobs(jobs: Sequence[Job]) -> List[Job]:
+    """Unique jobs in first-appearance order."""
+    return list(dict.fromkeys(jobs))

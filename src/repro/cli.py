@@ -1,25 +1,39 @@
 """Command-line interface.
 
-Three subcommands cover the common entry points without writing any code::
+Four subcommands cover the common entry points without writing any code::
 
     python -m repro simulate --workload apache --config invisi_sc --cores 8
-    python -m repro figure 8 --cores 8 --ops 4000
+    python -m repro figure 8 --cores 8 --ops 4000 --jobs 4
+    python -m repro sweep --configs sc,invisi_sc --workloads apache --jobs 4
     python -m repro tables
 
 ``simulate`` runs one workload under one named machine configuration and
 prints the runtime breakdown; ``figure`` regenerates one of the paper's
 evaluation figures (1, 8, 9, 10, 11, 12) at the requested scale; ``tables``
 prints the descriptive tables (Figures 2, 4, 5, 6, 7).
+
+``sweep`` runs an arbitrary (configuration x workload x seed) campaign:
+``--configs``/``--workloads``/``--seeds`` pick the cross-product (default:
+every registered configuration and workload), ``--jobs N`` simulates
+missing cells on a pool of N worker processes, and completed cells are
+persisted in a content-addressed result cache (``results/cache/`` unless
+``--cache-dir`` overrides it) so a repeated sweep -- or a later ``figure``
+run over the same cells -- simulates nothing.  ``--no-cache`` disables the
+cache, ``--quick`` is a small smoke-test preset for CI.  The ``figure``
+subcommand accepts the same ``--jobs``/``--no-cache``/``--cache-dir`` flags
+and prefetches its whole cross-product through the campaign executor
+before formatting.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
+from .campaign import CampaignExecutor, DEFAULT_CACHE_DIR, DEFAULT_REGISTRY, ResultCache, expand_jobs
 from .experiments import (
-    CONFIG_NAMES,
     ExperimentRunner,
     ExperimentSettings,
     figure2_table,
@@ -35,7 +49,13 @@ from .experiments import (
     run_figure11,
     run_figure12,
 )
+from .experiments.figure1 import FIGURE1_CONFIGS
+from .experiments.figure8 import FIGURE8_CONFIGS
+from .experiments.figure10 import FIGURE10_CONFIGS
+from .experiments.figure11 import FIGURE11_CONFIGS
+from .experiments.figure12 import FIGURE12_CONFIGS
 from .engine.simulator import simulate
+from .errors import ReproError
 from .stats.report import format_table
 from .workloads.presets import workload_names
 from .workloads.registry import build_trace
@@ -49,6 +69,17 @@ _FIGURES = {
     "12": run_figure12,
 }
 
+#: Configurations each figure needs (figure 9 reuses figure 8's set; every
+#: baseline a figure normalizes against is already in its set).
+_FIGURE_CONFIGS = {
+    "1": FIGURE1_CONFIGS,
+    "8": FIGURE8_CONFIGS,
+    "9": FIGURE8_CONFIGS,
+    "10": FIGURE10_CONFIGS,
+    "11": FIGURE11_CONFIGS,
+    "12": FIGURE12_CONFIGS,
+}
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -59,8 +90,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sim = sub.add_parser("simulate", help="run one workload under one configuration")
     sim.add_argument("--workload", choices=workload_names(), default="apache")
-    sim.add_argument("--config", choices=list(CONFIG_NAMES), default="invisi_sc")
-    sim.add_argument("--baseline", choices=list(CONFIG_NAMES), default="sc",
+    sim.add_argument("--config", choices=list(DEFAULT_REGISTRY.names()),
+                     default="invisi_sc")
+    sim.add_argument("--baseline", choices=list(DEFAULT_REGISTRY.names()),
+                     default="sc",
                      help="configuration to report a speedup against")
     sim.add_argument("--cores", type=int, default=8)
     sim.add_argument("--ops", type=int, default=4000, help="operations per thread")
@@ -71,13 +104,61 @@ def _build_parser() -> argparse.ArgumentParser:
     fig.add_argument("number", choices=sorted(_FIGURES), help="figure number")
     fig.add_argument("--cores", type=int, default=8)
     fig.add_argument("--ops", type=int, default=4000)
-    fig.add_argument("--seeds", type=str, default="1",
+    fig.add_argument("--seeds", type=_seeds_csv, default=(1,),
                      help="comma-separated generator seeds")
     fig.add_argument("--workloads", type=str, default=",".join(workload_names()),
                      help="comma-separated workload names")
+    _add_campaign_flags(fig)
+
+    sweep = sub.add_parser(
+        "sweep", help="run a (config x workload x seed) campaign, in parallel")
+    sweep.add_argument("--configs", type=str, default=None,
+                       help="comma-separated configuration names "
+                            "(default: all registered configurations)")
+    sweep.add_argument("--workloads", type=str, default=None,
+                       help="comma-separated workload names (default: all)")
+    sweep.add_argument("--seeds", type=_seeds_csv, default=(1,),
+                       help="comma-separated generator seeds")
+    sweep.add_argument("--cores", type=int, default=None,
+                       help="cores per simulated machine (default: 8)")
+    sweep.add_argument("--ops", type=int, default=None,
+                       help="operations per thread (default: 4000)")
+    sweep.add_argument("--warmup", type=float, default=0.2)
+    sweep.add_argument("--quick", action="store_true",
+                       help="smoke-test preset: 2 cores, 400 ops, "
+                            "sc+invisi_sc on apache (explicit flags override)")
+    _add_campaign_flags(sweep)
 
     sub.add_parser("tables", help="print the descriptive tables (Figures 2, 4-7)")
     return parser
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _seeds_csv(text: str) -> tuple:
+    try:
+        return tuple(int(s) for s in text.split(",") if s)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"seeds must be comma-separated integers, got {text!r}")
+
+
+def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=_positive_int, default=1,
+                        help="worker processes for missing cells (default: 1, serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the on-disk result cache")
+    parser.add_argument("--cache-dir", type=str, default=str(DEFAULT_CACHE_DIR),
+                        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})")
+
+
+def _split(csv: str) -> tuple:
+    return tuple(item for item in csv.split(",") if item)
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -112,13 +193,48 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    seeds = tuple(int(s) for s in args.seeds.split(",") if s)
-    workloads = tuple(w for w in args.workloads.split(",") if w)
+    workloads = _split(args.workloads)
     settings = ExperimentSettings(num_cores=args.cores, ops_per_thread=args.ops,
-                                  seeds=seeds, workloads=workloads)
-    runner = ExperimentRunner(settings)
+                                  seeds=args.seeds, workloads=workloads)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    runner = ExperimentRunner(settings, jobs=args.jobs, cache=cache)
+    runner.prefetch(_FIGURE_CONFIGS[args.number])
     result = _FIGURES[args.number](settings, runner)
     print(result.format())
+    print(f"[campaign] {runner.executor.last_report.describe(cache)}, "
+          f"--jobs {args.jobs}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    configs = _split(args.configs) if args.configs else (
+        ("sc", "invisi_sc") if args.quick else DEFAULT_REGISTRY.names())
+    workloads = _split(args.workloads) if args.workloads else (
+        ("apache",) if args.quick else tuple(workload_names()))
+    seeds = args.seeds
+    cores = args.cores if args.cores is not None else (2 if args.quick else 8)
+    ops = args.ops if args.ops is not None else (400 if args.quick else 4000)
+
+    settings = ExperimentSettings(num_cores=cores, ops_per_thread=ops,
+                                  seeds=seeds, workloads=workloads,
+                                  warmup_fraction=args.warmup)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    executor = CampaignExecutor(settings, jobs=args.jobs, cache=cache)
+    cells = expand_jobs(configs, workloads, seeds)
+
+    start = time.perf_counter()
+    results = executor.run(cells)
+    elapsed = time.perf_counter() - start
+
+    rows = [[job.config_name, job.workload, str(job.seed),
+             f"{result.cycles_per_core():.0f}", str(result.runtime)]
+            for job, result in zip(cells, results)]
+    print(format_table(["config", "workload", "seed", "cycles/core", "runtime"],
+                       rows,
+                       title=f"Campaign sweep: {len(cells)} cells at "
+                             f"{cores} cores, {ops} ops/thread"))
+    print(f"[campaign] {executor.last_report.describe(cache)} "
+          f"in {elapsed:.1f}s with --jobs {args.jobs}")
     return 0
 
 
@@ -133,13 +249,17 @@ def _cmd_tables(_: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
-    if args.command == "simulate":
-        return _cmd_simulate(args)
-    if args.command == "figure":
-        return _cmd_figure(args)
-    if args.command == "tables":
-        return _cmd_tables(args)
-    return 2  # pragma: no cover - argparse enforces the choices
+    commands = {
+        "simulate": _cmd_simulate,
+        "figure": _cmd_figure,
+        "sweep": _cmd_sweep,
+        "tables": _cmd_tables,
+    }
+    try:
+        return commands[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -264,6 +264,42 @@ class SystemConfig:
         """Return a copy of this configuration with ``changes`` applied."""
         return dataclasses.replace(self, **changes)
 
+    # -- (de)serialization -----------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data form suitable for ``json.dumps``.
+
+        The enum fields are ``str`` subclasses, so the output serializes
+        to JSON directly; :meth:`from_dict` restores the enum types.
+        """
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SystemConfig":
+        """Rebuild a configuration from :meth:`to_dict` output."""
+        spec = dict(data["speculation"])
+        spec["mode"] = SpeculationMode(spec["mode"])
+        spec["violation_policy"] = ViolationPolicy(spec["violation_policy"])
+        store_buffer = None
+        if data.get("store_buffer") is not None:
+            sb = dict(data["store_buffer"])
+            sb["kind"] = StoreBufferKind(sb["kind"])
+            store_buffer = StoreBufferConfig(**sb)
+        return cls(
+            num_cores=data["num_cores"],
+            consistency=ConsistencyModel(data["consistency"]),
+            speculation=SpeculationConfig(**spec),
+            l1=CacheConfig(**data["l1"]),
+            l2=CacheConfig(**data["l2"]),
+            store_buffer=store_buffer,
+            interconnect=InterconnectConfig(**data["interconnect"]),
+            memory_latency=data["memory_latency"],
+            directory_latency=data["directory_latency"],
+            clean_writeback_latency=data["clean_writeback_latency"],
+            store_prefetch_lead=data["store_prefetch_lead"],
+            retire_width=data["retire_width"],
+        )
+
 
 def default_store_buffer(
     consistency: ConsistencyModel, speculation: SpeculationConfig

@@ -21,8 +21,9 @@ time is recorded as ``violation`` instead.  :meth:`CoreStats.snapshot` and
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Any, Dict
 
 #: The four classes that are reassigned to ``violation`` on an abort.
 STALL_CLASSES = ("busy", "other", "sb_full", "sb_drain")
@@ -100,6 +101,17 @@ class CoreStats:
         for name in STALL_CLASSES:
             setattr(self, name, snapshot[name])
         self.violation += elapsed
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form suitable for ``json.dumps``."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CoreStats":
+        """Rebuild stats from :meth:`to_dict` output."""
+        return cls(**data)
 
     # -- reporting ----------------------------------------------------------
 

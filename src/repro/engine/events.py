@@ -2,8 +2,10 @@
 
 A minimal binary-heap event queue: events are ``(time, sequence, callback)``
 tuples; ties in time are broken by insertion order so the simulation is
-deterministic.  Events can be cancelled; cancelled events are skipped when
-popped.
+deterministic.  Events can be cancelled; cancelled events stay in the heap
+(lazy deletion) and are discarded when they reach the top.  A live-event
+counter keeps :meth:`EventQueue.empty` and :func:`len` O(1) -- both sit on
+the simulator hot path.
 """
 
 from __future__ import annotations
@@ -26,9 +28,17 @@ class Event:
     sequence: int
     callback: EventCallback = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: owning queue while the event is pending; cleared once popped so a
+    #: late cancel() cannot corrupt the live-event counter.
+    queue: Optional["EventQueue"] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.queue is not None:
+            self.queue._live -= 1
+            self.queue = None
 
 
 class EventQueue:
@@ -38,6 +48,7 @@ class EventQueue:
         self._heap: List[Event] = []
         self._sequence = 0
         self._now = 0
+        self._live = 0
         self.processed = 0
 
     @property
@@ -51,27 +62,37 @@ class EventQueue:
             raise SimulationError(
                 f"cannot schedule an event at {time}, current time is {self._now}"
             )
-        event = Event(time=time, sequence=self._sequence, callback=callback)
+        event = Event(time=time, sequence=self._sequence, callback=callback,
+                      queue=self)
         self._sequence += 1
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def empty(self) -> bool:
-        return not any(not e.cancelled for e in self._heap)
+        return self._live == 0
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return self._live
+
+    def _peek(self) -> Optional[Event]:
+        """Next live event without removing it (discards cancelled tops)."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0] if heap else None
 
     def pop(self) -> Optional[Event]:
         """Remove and return the next non-cancelled event, or ``None``."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            self.processed += 1
-            return event
-        return None
+        event = self._peek()
+        if event is None:
+            return None
+        heapq.heappop(self._heap)
+        event.queue = None
+        self._live -= 1
+        self._now = event.time
+        self.processed += 1
+        return event
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Process events until the queue is empty (or a bound is reached).
@@ -79,15 +100,13 @@ class EventQueue:
         Returns the number of events processed by this call.
         """
         count = 0
-        while True:
+        while self._live:
             if max_events is not None and count >= max_events:
                 break
-            while self._heap and self._heap[0].cancelled:
-                heapq.heappop(self._heap)
-            if not self._heap:
-                break
-            if until is not None and self._heap[0].time > until:
-                break
+            if until is not None:
+                head = self._peek()
+                if head is None or head.time > until:
+                    break
             event = self.pop()
             if event is None:
                 break

@@ -1,17 +1,29 @@
-"""Simulation results and aggregation helpers."""
+"""Simulation results, aggregation helpers, and JSON (de)serialization.
+
+:class:`RunResult` is immutable once built so that results can be shared
+freely across processes and cached on disk without defensive copying; the
+``to_dict``/``from_dict`` pair (and the ``to_json``/``from_json`` string
+forms) is the wire format used by the campaign result cache.
+"""
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..config import SystemConfig
 from ..cpu.stats import BREAKDOWN_COMPONENTS, CoreStats
 
+#: Version stamp embedded in serialized results; bump on any change to the
+#: :class:`RunResult`/:class:`CoreStats` wire format so stale cache entries
+#: are treated as misses rather than misread.
+RESULT_SCHEMA_VERSION = 1
 
-@dataclass
+
+@dataclass(frozen=True)
 class RunResult:
-    """Outcome of one simulation run."""
+    """Outcome of one simulation run (immutable once constructed)."""
 
     config: SystemConfig
     workload: str
@@ -21,6 +33,45 @@ class RunResult:
     #: number of events processed (engine diagnostic).
     events_processed: int = 0
     seed: Optional[int] = None
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form suitable for ``json.dumps``."""
+        return {
+            "schema": RESULT_SCHEMA_VERSION,
+            "config": self.config.to_dict(),
+            "workload": self.workload,
+            "core_stats": [stats.to_dict() for stats in self.core_stats],
+            "runtime": self.runtime,
+            "events_processed": self.events_processed,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        schema = data.get("schema")
+        if schema != RESULT_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported result schema {schema!r} "
+                f"(expected {RESULT_SCHEMA_VERSION})"
+            )
+        return cls(
+            config=SystemConfig.from_dict(data["config"]),
+            workload=data["workload"],
+            core_stats=[CoreStats.from_dict(d) for d in data["core_stats"]],
+            runtime=data["runtime"],
+            events_processed=data.get("events_processed", 0),
+            seed=data.get("seed"),
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunResult":
+        return cls.from_dict(json.loads(text))
 
     # -- aggregate views -----------------------------------------------------
 

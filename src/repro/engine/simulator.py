@@ -23,8 +23,14 @@ class Simulator:
     def __init__(self, system: System) -> None:
         self.system = system
 
-    def run(self, max_events: Optional[int] = None) -> RunResult:
-        """Run until every core has finished its trace."""
+    def run(self, max_events: Optional[int] = None,
+            seed: Optional[int] = None) -> RunResult:
+        """Run until every core has finished its trace.
+
+        ``seed`` is the workload generator seed recorded in the result;
+        :class:`RunResult` is immutable, so it must be supplied here rather
+        than patched on afterwards.
+        """
         system = self.system
         if max_events is None:
             total_ops = sum(len(core.trace) for core in system.cores)
@@ -48,6 +54,7 @@ class Simulator:
             core_stats=[core.stats for core in system.cores],
             runtime=system.finish_time(),
             events_processed=processed,
+            seed=seed,
         )
 
 
@@ -56,6 +63,4 @@ def simulate(config: SystemConfig, trace: MultiThreadedTrace,
              warmup_fraction: float = 0.0) -> RunResult:
     """Convenience wrapper: build a system for ``trace`` and run it."""
     system = build_system(config, trace, warmup_fraction=warmup_fraction)
-    result = Simulator(system).run(max_events=max_events)
-    result.seed = trace.seed
-    return result
+    return Simulator(system).run(max_events=max_events, seed=trace.seed)

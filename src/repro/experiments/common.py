@@ -22,30 +22,21 @@ name                meaning
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..config import (
-    ConsistencyModel,
-    SpeculationConfig,
-    SpeculationMode,
-    SystemConfig,
-    ViolationPolicy,
-    paper_config,
-)
+from ..campaign.cache import ResultCache
+from ..campaign.executor import CampaignExecutor
+from ..campaign.jobs import Job, dedupe_jobs, expand_jobs
+from ..campaign.registry import DEFAULT_REGISTRY
+from ..config import SystemConfig
 from ..engine.results import RunResult
-from ..engine.simulator import simulate
-from ..errors import ConfigurationError
 from ..trace.trace import MultiThreadedTrace
 from ..workloads.presets import workload_names
-from ..workloads.registry import build_trace
 
-#: All configuration short-names understood by :func:`make_config`.
-CONFIG_NAMES = (
-    "sc", "tso", "rmo",
-    "invisi_sc", "invisi_tso", "invisi_rmo",
-    "invisi_sc_2ckpt", "aso_sc",
-    "invisi_cont", "invisi_cont_cov",
-)
+#: Snapshot of the default registry's short-names at import time.  Use
+#: ``DEFAULT_REGISTRY.names()`` to also see configurations registered later
+#: at runtime.
+CONFIG_NAMES = DEFAULT_REGISTRY.names()
 
 
 @dataclass(frozen=True)
@@ -73,52 +64,13 @@ class ExperimentSettings:
 
 
 def make_config(name: str, settings: ExperimentSettings) -> SystemConfig:
-    """Build the :class:`SystemConfig` for a configuration short-name."""
-    cores = settings.num_cores
-    cov = settings.cov_timeout
-    if name == "sc":
-        return paper_config(ConsistencyModel.SC, num_cores=cores)
-    if name == "tso":
-        return paper_config(ConsistencyModel.TSO, num_cores=cores)
-    if name == "rmo":
-        return paper_config(ConsistencyModel.RMO, num_cores=cores)
-    if name == "invisi_sc":
-        return paper_config(ConsistencyModel.SC,
-                            SpeculationConfig(mode=SpeculationMode.SELECTIVE),
-                            num_cores=cores)
-    if name == "invisi_tso":
-        return paper_config(ConsistencyModel.TSO,
-                            SpeculationConfig(mode=SpeculationMode.SELECTIVE),
-                            num_cores=cores)
-    if name == "invisi_rmo":
-        return paper_config(ConsistencyModel.RMO,
-                            SpeculationConfig(mode=SpeculationMode.SELECTIVE),
-                            num_cores=cores)
-    if name == "invisi_sc_2ckpt":
-        return paper_config(ConsistencyModel.SC,
-                            SpeculationConfig(mode=SpeculationMode.SELECTIVE,
-                                              num_checkpoints=2),
-                            num_cores=cores)
-    if name == "aso_sc":
-        return paper_config(ConsistencyModel.SC,
-                            SpeculationConfig(mode=SpeculationMode.ASO,
-                                              num_checkpoints=2),
-                            num_cores=cores)
-    if name == "invisi_cont":
-        return paper_config(ConsistencyModel.SC,
-                            SpeculationConfig(mode=SpeculationMode.CONTINUOUS,
-                                              num_checkpoints=2),
-                            num_cores=cores)
-    if name == "invisi_cont_cov":
-        return paper_config(ConsistencyModel.SC,
-                            SpeculationConfig(mode=SpeculationMode.CONTINUOUS,
-                                              num_checkpoints=2,
-                                              violation_policy=ViolationPolicy.COMMIT_ON_VIOLATE,
-                                              cov_timeout=cov),
-                            num_cores=cores)
-    raise ConfigurationError(
-        f"unknown configuration {name!r}; known: {', '.join(CONFIG_NAMES)}"
-    )
+    """Build the :class:`SystemConfig` for a configuration short-name.
+
+    Delegates to the campaign subsystem's declarative registry
+    (:data:`repro.campaign.DEFAULT_REGISTRY`); new variants registered there
+    are immediately available here and in the CLI.
+    """
+    return DEFAULT_REGISTRY.make(name, settings)
 
 
 class ExperimentRunner:
@@ -127,31 +79,53 @@ class ExperimentRunner:
     Several figures share configurations (e.g. the ``sc`` baseline appears
     in Figures 1, 8, 9, and 12); a shared runner avoids re-simulating them.
     Traces are also cached per (workload, seed).
+
+    The runner is a thin façade over the campaign subsystem: cells execute
+    through a :class:`~repro.campaign.executor.CampaignExecutor` (pass
+    ``jobs > 1`` to simulate missing cells on a process pool) and, when a
+    :class:`~repro.campaign.cache.ResultCache` is attached, completed cells
+    persist across processes and sessions.  :meth:`prefetch` computes a
+    whole cross-product up front so the figure drivers' serial loops then
+    hit only memoized results.
     """
 
-    def __init__(self, settings: ExperimentSettings) -> None:
+    def __init__(self, settings: ExperimentSettings, jobs: int = 1,
+                 cache: Optional[ResultCache] = None) -> None:
         self.settings = settings
-        self._traces: Dict[Tuple[str, int], MultiThreadedTrace] = {}
+        self.executor = CampaignExecutor(settings, jobs=jobs, cache=cache)
         self._results: Dict[Tuple[str, str, int], RunResult] = {}
 
     # -- building blocks ----------------------------------------------------
 
     def trace(self, workload: str, seed: int) -> MultiThreadedTrace:
-        key = (workload, seed)
-        if key not in self._traces:
-            self._traces[key] = build_trace(
-                workload, num_threads=self.settings.num_cores,
-                ops_per_thread=self.settings.ops_per_thread, seed=seed)
-        return self._traces[key]
+        return self.executor.trace_for(workload, seed)
+
+    def run_jobs(self, jobs: Sequence[Job]) -> List[RunResult]:
+        """Run campaign cells, skipping any already memoized in-process."""
+        jobs = list(jobs)
+        todo = [job for job in dedupe_jobs(jobs)
+                if (job.config_name, job.workload, job.seed) not in self._results]
+        if todo:
+            for job, result in zip(todo, self.executor.run(todo)):
+                self._results[(job.config_name, job.workload, job.seed)] = result
+        return [self._results[(job.config_name, job.workload, job.seed)]
+                for job in jobs]
+
+    def prefetch(self, config_names: Iterable[str],
+                 workloads: Optional[Iterable[str]] = None,
+                 seeds: Optional[Iterable[int]] = None) -> List[RunResult]:
+        """Run the full (configs x workloads x seeds) cross-product.
+
+        Workloads and seeds default to the runner's settings.  This is the
+        parallelism entry point: one call fans every missing cell out over
+        the executor's worker pool.
+        """
+        workloads = tuple(workloads) if workloads is not None else self.settings.workloads
+        seeds = tuple(seeds) if seeds is not None else self.settings.seeds
+        return self.run_jobs(expand_jobs(config_names, workloads, seeds))
 
     def run(self, config_name: str, workload: str, seed: int) -> RunResult:
-        key = (config_name, workload, seed)
-        if key not in self._results:
-            config = make_config(config_name, self.settings)
-            self._results[key] = simulate(
-                config, self.trace(workload, seed),
-                warmup_fraction=self.settings.warmup_fraction)
-        return self._results[key]
+        return self.run_jobs([Job(config_name, workload, seed)])[0]
 
     # -- convenience aggregations ---------------------------------------------
 

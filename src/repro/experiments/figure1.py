@@ -20,7 +20,8 @@ from typing import Dict, Optional
 from ..stats.report import format_table
 from .common import ExperimentRunner, ExperimentSettings
 
-_CONFIGS = ("sc", "tso", "rmo")
+FIGURE1_CONFIGS = ("sc", "tso", "rmo")
+_CONFIGS = FIGURE1_CONFIGS
 
 
 @dataclass
