@@ -13,9 +13,10 @@ import argparse, time
 from repro.campaign import ResultCache
 from repro.experiments import (CONFIG_NAMES, ExperimentSettings, ExperimentRunner,
                                run_figure1, run_figure8, run_figure9, run_figure10,
-                               run_figure11, run_figure12, figure2_table,
-                               figure4_table, figure5_table, figure6_table,
-                               figure7_table)
+                               run_figure11, run_figure12, run_scenarios,
+                               figure2_table, figure4_table, figure5_table,
+                               figure6_table, figure7_table)
+from repro.scenarios import scenario_names
 
 NUM_CORES = 16
 OPS_PER_THREAD = 6000
@@ -40,6 +41,11 @@ def main(out_path, jobs=1, cache_dir="results/cache"):
         result = fn(settings, runner)
         sections.append(result.format())
         print(f"{name} done in {time.time()-t0:.0f}s", flush=True)
+    t0 = time.time()
+    scenario_result = run_scenarios(settings, runner,
+                                    scenarios=scenario_names())
+    sections.append(scenario_result.format())
+    print(f"scenarios done in {time.time()-t0:.0f}s", flush=True)
     fig10 = run_figure10(settings, runner)
     sections.append(figure2_table())
     sections.append(figure4_table(fig10))

@@ -51,9 +51,19 @@ from .errors import (
     ReproError,
     SimulationError,
     SpeculationError,
+    ScenarioError,
     StoreBufferError,
     TraceError,
     WorkloadError,
+)
+from .scenarios import (
+    DEFAULT_SCENARIO_REGISTRY,
+    PhaseSpec,
+    ScenarioRegistry,
+    ScenarioSpec,
+    generate_scenario,
+    scenario_names,
+    scenario_spec,
 )
 from .trace import MemOp, MultiThreadedTrace, OpKind, Trace, atomic, compute, fence, load, store
 from .workloads import WORKLOAD_PRESETS, WorkloadSpec, build_trace, preset, workload_names
@@ -101,6 +111,14 @@ __all__ = [
     "build_trace",
     "preset",
     "workload_names",
+    # scenarios
+    "DEFAULT_SCENARIO_REGISTRY",
+    "PhaseSpec",
+    "ScenarioRegistry",
+    "ScenarioSpec",
+    "generate_scenario",
+    "scenario_names",
+    "scenario_spec",
     # errors
     "ReproError",
     "ConfigurationError",
@@ -110,5 +128,6 @@ __all__ = [
     "StoreBufferError",
     "SpeculationError",
     "WorkloadError",
+    "ScenarioError",
     "__version__",
 ]

@@ -24,15 +24,19 @@ from typing import Any, Dict, Optional, Union
 
 from ..engine.results import RESULT_SCHEMA_VERSION, RunResult
 from ..config import SystemConfig
-from ..workloads.spec import WorkloadSpec
 
 #: Default cache location, relative to the working directory.
 DEFAULT_CACHE_DIR = Path("results") / "cache"
 
 
-def cache_key(config: SystemConfig, spec: WorkloadSpec, seed: int,
+def cache_key(config: SystemConfig, spec, seed: int,
               warmup_fraction: float) -> str:
-    """Content hash identifying one simulation cell."""
+    """Content hash identifying one simulation cell.
+
+    ``spec`` is the scaled :class:`~repro.workloads.spec.WorkloadSpec` or
+    :class:`~repro.scenarios.spec.ScenarioSpec` (any dataclass whose
+    ``asdict`` form captures everything that shapes the generated trace).
+    """
     payload: Dict[str, Any] = {
         "schema": RESULT_SCHEMA_VERSION,
         "config": config.to_dict(),

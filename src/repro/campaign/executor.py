@@ -13,11 +13,15 @@ When a :class:`~repro.campaign.cache.ResultCache` is attached, cached cells
 are served from disk and only the missing cells are simulated; freshly
 simulated cells are written back, so a repeated campaign simulates nothing.
 
-Worker processes rebuild each trace from (workload, seed) rather than
-receiving it pickled: a trace is orders of magnitude bigger than its name
-and regenerating it is far cheaper than one simulation.  The serial path
-instead memoizes traces per (workload, seed) across the executor's
-lifetime, so a figure's many configurations share one trace build.
+Worker processes rebuild each trace from its (spec, seed) rather than
+receiving it pickled: a trace is orders of magnitude bigger than its spec
+and regenerating it is far cheaper than one simulation.  The *resolved*
+spec object is shipped (not the workload name) so that scenarios or
+presets registered at runtime in the parent also work under spawn-based
+``multiprocessing``, where workers re-import the registries from scratch.
+The serial path instead memoizes traces per (workload, seed) across the
+executor's lifetime, so a figure's many configurations share one trace
+build.
 """
 
 from __future__ import annotations
@@ -30,8 +34,7 @@ from ..config import SystemConfig
 from ..engine.results import RunResult
 from ..engine.simulator import simulate
 from ..trace.trace import MultiThreadedTrace
-from ..workloads.presets import preset
-from ..workloads.registry import build_trace
+from ..workloads.registry import build_trace, resolve_spec
 from .cache import ResultCache, cache_key
 from .jobs import Job, dedupe_jobs
 from .registry import DEFAULT_REGISTRY, ConfigRegistry
@@ -39,16 +42,15 @@ from .registry import DEFAULT_REGISTRY, ConfigRegistry
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..experiments.common import ExperimentSettings
 
-#: (config, workload, seed, ops_per_thread, warmup_fraction) -- everything a
-#: worker needs to simulate one cell, all cheaply picklable.
-_CellPayload = Tuple[SystemConfig, str, int, int, float]
+#: (config, scaled workload/scenario spec, seed, warmup_fraction) --
+#: everything a worker needs to simulate one cell, all cheaply picklable.
+_CellPayload = Tuple[SystemConfig, object, int, float]
 
 
 def _simulate_cell(payload: _CellPayload) -> RunResult:
     """Worker entry point: build the trace and simulate one cell."""
-    config, workload, seed, ops_per_thread, warmup_fraction = payload
-    trace = build_trace(workload, num_threads=config.num_cores,
-                        ops_per_thread=ops_per_thread, seed=seed)
+    config, spec, seed, warmup_fraction = payload
+    trace = build_trace(spec, num_threads=config.num_cores, seed=seed)
     return simulate(config, trace, warmup_fraction=warmup_fraction)
 
 
@@ -104,13 +106,14 @@ class CampaignExecutor:
 
     def key_for(self, job: Job) -> str:
         """The cell's persistent cache key."""
-        spec = preset(job.workload).scaled(self.settings.ops_per_thread)
+        spec = resolve_spec(job.workload, self.settings.ops_per_thread)
         return cache_key(self.config_for(job), spec, job.seed,
                          self.settings.warmup_fraction)
 
     def _payload(self, job: Job) -> _CellPayload:
-        return (self.config_for(job), job.workload, job.seed,
-                self.settings.ops_per_thread, self.settings.warmup_fraction)
+        spec = resolve_spec(job.workload, self.settings.ops_per_thread)
+        return (self.config_for(job), spec, job.seed,
+                self.settings.warmup_fraction)
 
     # -- execution -----------------------------------------------------------
 

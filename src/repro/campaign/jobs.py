@@ -1,7 +1,8 @@
 """The campaign job model.
 
 A :class:`Job` names one cell of the evaluation cross-product: a machine
-configuration short-name, a workload preset name, and a generator seed.
+configuration short-name, a workload preset or scenario name, and a
+generator seed.
 Jobs are hashable and ordered, so they can key caches and be deduplicated
 while preserving a stable, reproducible execution order.
 """
@@ -17,6 +18,7 @@ class Job:
     """One (configuration, workload, seed) cell of a campaign."""
 
     config_name: str
+    #: a workload preset name or a scenario name.
     workload: str
     seed: int = 1
 

@@ -1,16 +1,26 @@
 """Command-line interface.
 
-Four subcommands cover the common entry points without writing any code::
+Six subcommands cover the common entry points without writing any code::
 
     python -m repro simulate --workload apache --config invisi_sc --cores 8
     python -m repro figure 8 --cores 8 --ops 4000 --jobs 4
     python -m repro sweep --configs sc,invisi_sc --workloads apache --jobs 4
+    python -m repro workloads list
+    python -m repro scenario run false-sharing-storm --jobs 4
     python -m repro tables
 
-``simulate`` runs one workload under one named machine configuration and
-prints the runtime breakdown; ``figure`` regenerates one of the paper's
-evaluation figures (1, 8, 9, 10, 11, 12) at the requested scale; ``tables``
-prints the descriptive tables (Figures 2, 4, 5, 6, 7).
+``simulate`` runs one workload (or scenario) under one named machine
+configuration and prints the runtime breakdown; ``figure`` regenerates one
+of the paper's evaluation figures (1, 8, 9, 10, 11, 12) or the
+``scenarios`` per-phase figure at the requested scale; ``tables`` prints
+the descriptive tables (Figures 2, 4, 5, 6, 7).
+
+``workloads list`` and ``scenario list`` print the registered workload
+presets and phase-structured scenarios.  ``scenario run <name>`` executes
+one scenario under one or more configurations through the campaign
+executor and prints each configuration's per-phase stall breakdown; a
+scenario name is likewise accepted anywhere ``sweep``/``simulate`` accept
+a workload preset.
 
 ``sweep`` runs an arbitrary (configuration x workload x seed) campaign:
 ``--configs``/``--workloads``/``--seeds`` pick the cross-product (default:
@@ -32,7 +42,14 @@ import sys
 import time
 from typing import List, Optional
 
-from .campaign import CampaignExecutor, DEFAULT_CACHE_DIR, DEFAULT_REGISTRY, ResultCache, expand_jobs
+from .campaign import (
+    CampaignExecutor,
+    DEFAULT_CACHE_DIR,
+    DEFAULT_REGISTRY,
+    Job,
+    ResultCache,
+    expand_jobs,
+)
 from .experiments import (
     ExperimentRunner,
     ExperimentSettings,
@@ -48,16 +65,20 @@ from .experiments import (
     run_figure10,
     run_figure11,
     run_figure12,
+    run_scenarios,
 )
 from .experiments.figure1 import FIGURE1_CONFIGS
 from .experiments.figure8 import FIGURE8_CONFIGS
 from .experiments.figure10 import FIGURE10_CONFIGS
 from .experiments.figure11 import FIGURE11_CONFIGS
 from .experiments.figure12 import FIGURE12_CONFIGS
+from .experiments.scenarios import SCENARIO_CONFIGS
 from .engine.simulator import simulate
 from .errors import ReproError
+from .scenarios.registry import DEFAULT_SCENARIO_REGISTRY, scenario_names, scenario_spec
+from .stats.phases import format_phase_breakdown
 from .stats.report import format_table
-from .workloads.presets import workload_names
+from .workloads.presets import WORKLOAD_PRESETS, workload_names
 from .workloads.registry import build_trace
 
 _FIGURES = {
@@ -67,6 +88,7 @@ _FIGURES = {
     "10": run_figure10,
     "11": run_figure11,
     "12": run_figure12,
+    "scenarios": run_scenarios,
 }
 
 #: Configurations each figure needs (figure 9 reuses figure 8's set; every
@@ -78,6 +100,7 @@ _FIGURE_CONFIGS = {
     "10": FIGURE10_CONFIGS,
     "11": FIGURE11_CONFIGS,
     "12": FIGURE12_CONFIGS,
+    "scenarios": SCENARIO_CONFIGS,
 }
 
 
@@ -88,8 +111,11 @@ def _build_parser() -> argparse.ArgumentParser:
                     "and regenerate the paper's figures.")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sim = sub.add_parser("simulate", help="run one workload under one configuration")
-    sim.add_argument("--workload", choices=workload_names(), default="apache")
+    sim = sub.add_parser("simulate",
+                         help="run one workload or scenario under one configuration")
+    sim.add_argument("--workload",
+                     choices=workload_names() + list(scenario_names()),
+                     default="apache")
     sim.add_argument("--config", choices=list(DEFAULT_REGISTRY.names()),
                      default="invisi_sc")
     sim.add_argument("--baseline", choices=list(DEFAULT_REGISTRY.names()),
@@ -106,8 +132,9 @@ def _build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--ops", type=int, default=4000)
     fig.add_argument("--seeds", type=_seeds_csv, default=(1,),
                      help="comma-separated generator seeds")
-    fig.add_argument("--workloads", type=str, default=",".join(workload_names()),
-                     help="comma-separated workload names")
+    fig.add_argument("--workloads", type=str, default=None,
+                     help="comma-separated workload names (default: all "
+                          "presets; for the scenarios figure, all scenarios)")
     _add_campaign_flags(fig)
 
     sweep = sub.add_parser(
@@ -116,7 +143,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="comma-separated configuration names "
                             "(default: all registered configurations)")
     sweep.add_argument("--workloads", type=str, default=None,
-                       help="comma-separated workload names (default: all)")
+                       help="comma-separated workload or scenario names "
+                            "(default: all workload presets)")
     sweep.add_argument("--seeds", type=_seeds_csv, default=(1,),
                        help="comma-separated generator seeds")
     sweep.add_argument("--cores", type=int, default=None,
@@ -128,6 +156,31 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="smoke-test preset: 2 cores, 400 ops, "
                             "sc+invisi_sc on apache (explicit flags override)")
     _add_campaign_flags(sweep)
+
+    wl = sub.add_parser("workloads", help="inspect the workload preset catalogue")
+    wl_sub = wl.add_subparsers(dest="workloads_command", required=True)
+    wl_sub.add_parser("list", help="print preset names and descriptions")
+
+    scenario = sub.add_parser("scenario",
+                              help="inspect and run phase-structured scenarios")
+    sc_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+    sc_sub.add_parser("list", help="print scenario names, phases, descriptions")
+    sc_run = sc_sub.add_parser(
+        "run", help="run one scenario through the campaign executor and "
+                    "print per-phase stall breakdowns")
+    sc_run.add_argument("name", help="scenario name (see 'scenario list')")
+    sc_run.add_argument("--configs", type=str, default="sc,invisi_sc",
+                        help="comma-separated configuration names")
+    sc_run.add_argument("--cores", type=int, default=None,
+                        help="cores per simulated machine (default: 8)")
+    sc_run.add_argument("--ops", type=int, default=None,
+                        help="total operations per thread (default: 4000)")
+    sc_run.add_argument("--seed", type=int, default=1)
+    sc_run.add_argument("--warmup", type=float, default=0.2)
+    sc_run.add_argument("--small", action="store_true",
+                        help="smoke-test preset: 2 cores, 600 ops "
+                             "(explicit flags override)")
+    _add_campaign_flags(sc_run)
 
     sub.add_parser("tables", help="print the descriptive tables (Figures 2, 4-7)")
     return parser
@@ -161,6 +214,11 @@ def _split(csv: str) -> tuple:
     return tuple(item for item in csv.split(",") if item)
 
 
+def _print_catalog(title: str, headers: List[str], rows: List[List[str]]) -> None:
+    """Shared catalogue formatter for ``workloads list``/``scenario list``."""
+    print(format_table(headers, rows, title=title))
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     settings = ExperimentSettings(num_cores=args.cores, ops_per_thread=args.ops,
                                   seeds=(args.seed,),
@@ -189,11 +247,64 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     ]
     print(format_table(["metric", "value"], rows,
                        title="InvisiFence reproduction: simulation summary"))
+    if result.phase_stats:
+        print()
+        print(format_phase_breakdown(result))
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    rows = [[name, WORKLOAD_PRESETS[name].description]
+            for name in workload_names()]
+    _print_catalog("Workload presets", ["name", "description"], rows)
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    if args.scenario_command == "list":
+        rows = [[info["name"], info["phases"], info["description"]]
+                for info in DEFAULT_SCENARIO_REGISTRY.describe_all()]
+        _print_catalog("Scenarios (phase-structured workloads)",
+                       ["name", "phases", "description"], rows)
+        return 0
+    return _cmd_scenario_run(args)
+
+
+def _cmd_scenario_run(args: argparse.Namespace) -> int:
+    spec = scenario_spec(args.name)
+    configs = _split(args.configs)
+    cores = args.cores if args.cores is not None else (2 if args.small else 8)
+    ops = args.ops if args.ops is not None else (600 if args.small else 4000)
+
+    settings = ExperimentSettings(num_cores=cores, ops_per_thread=ops,
+                                  seeds=(args.seed,), workloads=(args.name,),
+                                  warmup_fraction=args.warmup)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    executor = CampaignExecutor(settings, jobs=args.jobs, cache=cache)
+    cells = [Job(config, args.name, args.seed) for config in configs]
+    results = executor.run(cells)
+
+    print(f"Scenario {spec.name}: {spec.description}")
+    print(f"phases: {' -> '.join(p.name for p in spec.phases)} "
+          f"({ops} ops/thread total, {cores} cores, seed {args.seed})")
+    for job, result in zip(cells, results):
+        print()
+        print(format_phase_breakdown(
+            result, title=f"{args.name} under {job.config_name}: "
+                          f"per-phase stall breakdown (% of phase cycles)"))
+    print()
+    print(f"[campaign] {executor.last_report.describe(cache)}, "
+          f"--jobs {args.jobs}")
     return 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    workloads = _split(args.workloads)
+    if args.workloads:
+        workloads = _split(args.workloads)
+    elif args.number == "scenarios":
+        workloads = tuple(scenario_names())
+    else:
+        workloads = tuple(workload_names())
     settings = ExperimentSettings(num_cores=args.cores, ops_per_thread=args.ops,
                                   seeds=args.seeds, workloads=workloads)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
@@ -253,6 +364,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "figure": _cmd_figure,
         "sweep": _cmd_sweep,
+        "workloads": _cmd_workloads,
+        "scenario": _cmd_scenario,
         "tables": _cmd_tables,
     }
     try:

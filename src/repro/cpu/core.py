@@ -15,12 +15,12 @@ reschedules processing.  Controllers can also schedule auxiliary callbacks
 
 from __future__ import annotations
 
-from typing import Callable, Optional, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from ..config import SystemConfig
 from ..errors import SimulationError
 from ..trace.trace import Trace
-from .stats import CoreStats
+from .stats import COUNTER_FIELDS, CoreStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..coherence.memory_system import MemorySystem
@@ -33,7 +33,8 @@ class Core:
 
     def __init__(self, core_id: int, trace: Trace, config: SystemConfig,
                  mem: "MemorySystem", events: "EventQueue",
-                 warmup_ops: int = 0) -> None:
+                 warmup_ops: int = 0,
+                 phase_bounds: Optional[Sequence[int]] = None) -> None:
         self.core_id = core_id
         self.trace = trace
         self.config = config
@@ -51,6 +52,23 @@ class Core:
         #: speculating) every counter is reset.
         self.warmup_ops = max(0, min(warmup_ops, len(trace)))
         self._warmup_done = self.warmup_ops == 0
+        #: cumulative phase end-indices into the trace (last == len(trace)).
+        #: When set, the core snapshots its counters each time retirement
+        #: first crosses a boundary, so per-phase stats can be recovered as
+        #: snapshot deltas.  Rollbacks that re-enter an earlier phase discard
+        #: the affected snapshots; they are re-taken on the re-crossing.
+        self.phase_bounds: List[int] = list(phase_bounds or [])
+        if self.phase_bounds:
+            if sorted(set(self.phase_bounds)) != self.phase_bounds:
+                raise SimulationError("phase bounds must be strictly increasing")
+            if self.phase_bounds[0] <= 0 or self.phase_bounds[-1] != len(trace):
+                raise SimulationError(
+                    "phase bounds must be positive and end at the trace length"
+                )
+        self._inner_bounds = self.phase_bounds[:-1]
+        self._phase_snaps: List[Optional[Dict[str, int]]] = \
+            [None] * len(self._inner_bounds)
+        self._next_bound = 0
 
     # -- wiring --------------------------------------------------------------
 
@@ -71,6 +89,30 @@ class Core:
     @property
     def remaining_ops(self) -> int:
         return max(0, len(self.trace) - self._index)
+
+    # -- phase attribution -----------------------------------------------------
+
+    def phase_stats(self) -> List[CoreStats]:
+        """Per-phase counter deltas (empty without phase bounds).
+
+        Only meaningful once the core has finished: the last phase is
+        closed by the core's final counters, so end-of-trace work (store
+        buffer drain, final speculation commit) is attributed to it.
+        """
+        if not self.phase_bounds:
+            return []
+        if not self._finished:
+            raise SimulationError(
+                f"phase stats requested before core {self.core_id} finished"
+            )
+        snaps = list(self._phase_snaps) + [self.stats.full_snapshot()]
+        out: List[CoreStats] = []
+        prev = {name: 0 for name in COUNTER_FIELDS}
+        for snap in snaps:
+            assert snap is not None  # all boundaries crossed once finished
+            out.append(CoreStats.from_delta(prev, snap))
+            prev = snap
+        return out
 
     # -- scheduling --------------------------------------------------------------
 
@@ -95,6 +137,9 @@ class Core:
                 f"rollback to invalid trace index {trace_index} on core {self.core_id}"
             )
         self.stats.replayed_ops += max(0, self._index - trace_index)
+        while self._next_bound > 0 and trace_index < self._inner_bounds[self._next_bound - 1]:
+            self._next_bound -= 1
+            self._phase_snaps[self._next_bound] = None
         self._index = trace_index
         self._generation += 1
         self._finished = False
@@ -111,6 +156,14 @@ class Core:
             self.stats.reset_measurement()
             self.controller.on_measurement_reset()
             self._warmup_done = True
+            # Boundaries crossed during warmup delimit phases whose measured
+            # contribution is (by definition) zero.
+            for i in range(self._next_bound):
+                self._phase_snaps[i] = {name: 0 for name in COUNTER_FIELDS}
+        while self._next_bound < len(self._inner_bounds) \
+                and self._index >= self._inner_bounds[self._next_bound]:
+            self._phase_snaps[self._next_bound] = self.stats.full_snapshot()
+            self._next_bound += 1
         if self._index >= len(self.trace):
             self._handle_trace_end(now)
             return

@@ -31,6 +31,15 @@ STALL_CLASSES = ("busy", "other", "sb_full", "sb_drain")
 #: All runtime components reported in breakdowns.
 BREAKDOWN_COMPONENTS = ("busy", "other", "sb_full", "sb_drain", "violation")
 
+#: Every cumulative counter (everything except ``finish_time``, which is a
+#: timestamp rather than an accumulator).  Used by phase attribution, which
+#: differences full snapshots taken at phase boundaries.
+COUNTER_FIELDS = BREAKDOWN_COMPONENTS + (
+    "spec_cycles", "speculations", "commits", "aborts", "cov_commits",
+    "cov_aborts", "forced_commits", "replayed_ops", "loads", "stores",
+    "atomics", "fences", "instructions",
+)
+
 
 @dataclass
 class CoreStats:
@@ -75,12 +84,7 @@ class CoreStats:
         Cold-start cache misses dominate short synthetic traces; the paper's
         sampling methodology likewise measures only warmed-up execution.
         """
-        for name in BREAKDOWN_COMPONENTS:
-            setattr(self, name, 0)
-        for name in ("spec_cycles", "speculations", "commits", "aborts",
-                     "cov_commits", "cov_aborts", "forced_commits",
-                     "replayed_ops", "loads", "stores", "atomics", "fences",
-                     "instructions"):
+        for name in COUNTER_FIELDS:
             setattr(self, name, 0)
 
     # -- speculation rollback accounting ------------------------------------
@@ -88,6 +92,15 @@ class CoreStats:
     def snapshot(self) -> Dict[str, int]:
         """Capture the work classes (taken when a checkpoint is created)."""
         return {name: getattr(self, name) for name in STALL_CLASSES}
+
+    def full_snapshot(self) -> Dict[str, int]:
+        """Capture every cumulative counter (phase-boundary attribution)."""
+        return {name: getattr(self, name) for name in COUNTER_FIELDS}
+
+    @classmethod
+    def from_delta(cls, before: Dict[str, int], after: Dict[str, int]) -> "CoreStats":
+        """Stats accumulated between two :meth:`full_snapshot` captures."""
+        return cls(**{name: after[name] - before[name] for name in COUNTER_FIELDS})
 
     def rollback_to(self, snapshot: Dict[str, int], elapsed: int) -> None:
         """Discard work since ``snapshot`` and charge ``elapsed`` to violation.
@@ -128,11 +141,6 @@ class CoreStats:
 
     def merge(self, other: "CoreStats") -> None:
         """Accumulate another core's counters into this one (aggregation)."""
-        for name in BREAKDOWN_COMPONENTS:
-            setattr(self, name, getattr(self, name) + getattr(other, name))
-        for name in ("spec_cycles", "speculations", "commits", "aborts",
-                     "cov_commits", "cov_aborts", "forced_commits",
-                     "replayed_ops", "loads", "stores", "atomics", "fences",
-                     "instructions"):
+        for name in COUNTER_FIELDS:
             setattr(self, name, getattr(self, name) + getattr(other, name))
         self.finish_time = max(self.finish_time, other.finish_time)

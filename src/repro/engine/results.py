@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..config import SystemConfig
 from ..cpu.stats import BREAKDOWN_COMPONENTS, CoreStats
@@ -18,7 +18,8 @@ from ..cpu.stats import BREAKDOWN_COMPONENTS, CoreStats
 #: Version stamp embedded in serialized results; bump on any change to the
 #: :class:`RunResult`/:class:`CoreStats` wire format so stale cache entries
 #: are treated as misses rather than misread.
-RESULT_SCHEMA_VERSION = 1
+#: v2: per-phase stall attribution (``phase_names``/``phase_stats``).
+RESULT_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -33,12 +34,16 @@ class RunResult:
     #: number of events processed (engine diagnostic).
     events_processed: int = 0
     seed: Optional[int] = None
+    #: phase labels, in order, for phase-structured (scenario) runs.
+    phase_names: Optional[Tuple[str, ...]] = None
+    #: per-phase, per-core counter deltas: ``phase_stats[phase][core]``.
+    phase_stats: Optional[List[List[CoreStats]]] = None
 
     # -- (de)serialization ---------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-data form suitable for ``json.dumps``."""
-        return {
+        data: Dict[str, Any] = {
             "schema": RESULT_SCHEMA_VERSION,
             "config": self.config.to_dict(),
             "workload": self.workload,
@@ -47,6 +52,11 @@ class RunResult:
             "events_processed": self.events_processed,
             "seed": self.seed,
         }
+        if self.phase_names is not None:
+            data["phase_names"] = list(self.phase_names)
+            data["phase_stats"] = [[stats.to_dict() for stats in cores]
+                                   for cores in self.phase_stats or []]
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "RunResult":
@@ -57,6 +67,8 @@ class RunResult:
                 f"unsupported result schema {schema!r} "
                 f"(expected {RESULT_SCHEMA_VERSION})"
             )
+        phase_names = data.get("phase_names")
+        phase_stats = data.get("phase_stats")
         return cls(
             config=SystemConfig.from_dict(data["config"]),
             workload=data["workload"],
@@ -64,6 +76,10 @@ class RunResult:
             runtime=data["runtime"],
             events_processed=data.get("events_processed", 0),
             seed=data.get("seed"),
+            phase_names=tuple(phase_names) if phase_names is not None else None,
+            phase_stats=[[CoreStats.from_dict(d) for d in cores]
+                         for cores in phase_stats]
+            if phase_stats is not None else None,
         )
 
     def to_json(self, indent: Optional[int] = None) -> str:

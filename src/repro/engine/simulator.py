@@ -48,6 +48,12 @@ class Simulator:
                     f"simulation stalled with cores {unfinished} unfinished "
                     f"after {processed} events"
                 )
+        phase_names = system.phase_names
+        phase_stats = None
+        if phase_names:
+            per_core = [core.phase_stats() for core in system.cores]
+            phase_stats = [[core_phases[p] for core_phases in per_core]
+                           for p in range(len(phase_names))]
         return RunResult(
             config=system.config,
             workload=system.workload_name,
@@ -55,6 +61,8 @@ class Simulator:
             runtime=system.finish_time(),
             events_processed=processed,
             seed=seed,
+            phase_names=phase_names,
+            phase_stats=phase_stats,
         )
 
 

@@ -18,7 +18,7 @@ Speculation     Controller
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, Tuple
 
 from ..aso.controller import ASOController
 from ..coherence.memory_system import MemorySystem
@@ -56,6 +56,8 @@ class System:
     memory: MemorySystem
     cores: List[Core]
     workload_name: str = "anonymous"
+    #: phase labels for phase-structured traces (scenario runs).
+    phase_names: Optional[Tuple[str, ...]] = None
 
     def start(self) -> None:
         """Schedule the first step of every core."""
@@ -90,13 +92,14 @@ def build_system(config: SystemConfig, trace: MultiThreadedTrace,
     events = EventQueue()
     memory = MemorySystem(config)
     cores: List[Core] = []
+    phase_bounds = trace.phase_bounds
     for core_id in range(config.num_cores):
         thread_trace = trace[core_id]
         warmup_ops = int(len(thread_trace) * warmup_fraction)
         core = Core(core_id, thread_trace, config, memory, events,
-                    warmup_ops=warmup_ops)
+                    warmup_ops=warmup_ops, phase_bounds=phase_bounds)
         controller = make_controller(core)
         core.attach_controller(controller)
         cores.append(core)
     return System(config=config, events=events, memory=memory, cores=cores,
-                  workload_name=trace.name)
+                  workload_name=trace.name, phase_names=trace.phase_names)

@@ -37,3 +37,7 @@ class SpeculationError(SimulationError):
 
 class WorkloadError(ReproError):
     """A workload specification or generator is invalid."""
+
+
+class ScenarioError(WorkloadError):
+    """A scenario specification, phase, or sharing pattern is invalid."""

@@ -22,6 +22,7 @@ from .figure9 import Figure9Result, run_figure9
 from .figure10 import Figure10Result, run_figure10
 from .figure11 import Figure11Result, run_figure11
 from .figure12 import Figure12Result, run_figure12
+from .scenarios import SCENARIO_CONFIGS, ScenarioFigureResult, run_scenarios
 from .tables import (
     figure2_table,
     figure4_table,
@@ -51,6 +52,9 @@ __all__ = [
     "run_figure11",
     "Figure12Result",
     "run_figure12",
+    "SCENARIO_CONFIGS",
+    "ScenarioFigureResult",
+    "run_scenarios",
     "figure2_table",
     "figure4_table",
     "figure5_table",

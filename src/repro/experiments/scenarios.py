@@ -1,0 +1,79 @@
+"""Scenario figure: per-phase stall breakdowns across configurations.
+
+The paper's per-workload figures average each workload's behaviour over
+its whole sample; phase-structured scenarios make the *within-run*
+variation visible instead.  For every scenario and machine configuration
+this driver reports the Figure-9-style stall taxonomy separately for each
+phase (as a percentage of that phase's own accounted cycles), so e.g. a
+barrier phase's SB-drain spike or a false-sharing phase's violation
+cycles are not averaged away by the surrounding phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..campaign.jobs import Job
+from ..cpu.stats import BREAKDOWN_COMPONENTS
+from ..stats.phases import phase_breakdown
+from ..stats.report import format_breakdown_table
+from .common import ExperimentRunner, ExperimentSettings
+
+#: Configurations compared per phase: the three conventional baselines'
+#: worst offender, plus the speculative variants the paper centres on.
+SCENARIO_CONFIGS = ("sc", "tso", "invisi_sc", "invisi_rmo")
+
+
+@dataclass
+class ScenarioFigureResult:
+    """Per-(scenario, phase, config) stall breakdowns."""
+
+    settings: ExperimentSettings
+    configs: Tuple[str, ...] = SCENARIO_CONFIGS
+    #: {"scenario/phase": {config: {component: % of phase cycles}}}
+    breakdowns: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+
+    def format(self) -> str:
+        return format_breakdown_table(
+            self.breakdowns, BREAKDOWN_COMPONENTS,
+            title="Scenario phases: stall breakdown, % of each phase's "
+                  "accounted cycles")
+
+
+def run_scenarios(settings: Optional[ExperimentSettings] = None,
+                  runner: Optional[ExperimentRunner] = None,
+                  scenarios: Optional[Sequence[str]] = None,
+                  configs: Sequence[str] = SCENARIO_CONFIGS) -> ScenarioFigureResult:
+    """Run every (scenario, config, seed) cell and tabulate per-phase stalls.
+
+    ``scenarios`` defaults to the settings' workload list (the CLI points
+    that at the scenario registry); multi-seed settings average the
+    per-phase percentages over seeds.
+    """
+    from ..scenarios.registry import scenario_names
+
+    settings = settings or ExperimentSettings(workloads=tuple(scenario_names()))
+    runner = runner or ExperimentRunner(settings)
+    scenarios = tuple(scenarios) if scenarios is not None else settings.workloads
+    result = ScenarioFigureResult(settings=settings, configs=tuple(configs))
+
+    jobs = [Job(config, scenario, seed)
+            for config in configs
+            for scenario in scenarios
+            for seed in settings.seeds]
+    runner.run_jobs(jobs)  # one campaign fan-out; the loops below hit memo
+
+    for scenario in scenarios:
+        per_phase: Dict[str, Dict[str, Dict[str, float]]] = {}
+        for config in configs:
+            runs = runner.run_all_seeds(config, scenario)
+            for run in runs:
+                for label, values in phase_breakdown(run).items():
+                    key = f"{scenario}/{label}"
+                    bucket = per_phase.setdefault(key, {}).setdefault(
+                        config, {name: 0.0 for name in BREAKDOWN_COMPONENTS})
+                    for name in BREAKDOWN_COMPONENTS:
+                        bucket[name] += values[name] / len(runs)
+        result.breakdowns.update(per_phase)
+    return result

@@ -1,0 +1,48 @@
+"""Phase-structured scenario engine.
+
+The single-spec workload generator produces one stationary mix per run;
+real evaluations (and the paper's) hinge on how memory-ordering
+speculation behaves across *qualitatively different* sharing patterns.
+This package adds that axis:
+
+* :mod:`~repro.scenarios.patterns` -- five sharing-pattern primitives
+  (producer-consumer hand-off, barrier episodes, false sharing,
+  readers-writer lock, work-stealing deques), each a dedicated trace
+  emitter with the idiom's characteristic coherence behaviour;
+* :mod:`~repro.scenarios.spec` -- :class:`PhaseSpec`/:class:`ScenarioSpec`,
+  a declarative ordered list of phases mixing primitives with full
+  :class:`~repro.workloads.spec.WorkloadSpec` background mixes;
+* :mod:`~repro.scenarios.engine` -- phase splicing with deterministic
+  per-(seed, thread, phase) RNG streams;
+* :mod:`~repro.scenarios.registry` -- a runtime-extensible registry of
+  built-in scenarios, plugged into the campaign job model and the CLI.
+
+Simulation results for phase-structured traces carry per-phase stall
+attribution (see :mod:`repro.stats.phases`), so each phase reports its own
+busy / other / SB-full / SB-drain / violation breakdown.
+"""
+
+from .engine import emit_phase_ops, generate_scenario
+from .patterns import PATTERNS, SharingPattern, pattern, pattern_names
+from .registry import (
+    DEFAULT_SCENARIO_REGISTRY,
+    ScenarioRegistry,
+    scenario_names,
+    scenario_spec,
+)
+from .spec import PhaseSpec, ScenarioSpec
+
+__all__ = [
+    "DEFAULT_SCENARIO_REGISTRY",
+    "PATTERNS",
+    "PhaseSpec",
+    "ScenarioRegistry",
+    "ScenarioSpec",
+    "SharingPattern",
+    "emit_phase_ops",
+    "generate_scenario",
+    "pattern",
+    "pattern_names",
+    "scenario_names",
+    "scenario_spec",
+]

@@ -1,0 +1,58 @@
+"""Phase splicing: turn a :class:`ScenarioSpec` into a multithreaded trace.
+
+Each thread's stream is the concatenation of its per-phase streams.  Every
+(seed, thread, phase) triple gets an independent RNG
+(:func:`repro.workloads.generator.phase_rng`), so:
+
+* the same (spec, seed) always yields bitwise-identical traces,
+* threads differ from each other within a phase, and
+* editing one phase of a scenario leaves every other phase's operations
+  unchanged.
+
+Workload phases run the existing background-mix generator over the phase's
+:class:`~repro.workloads.spec.WorkloadSpec`; pattern phases call the named
+sharing-pattern emitter.  Both emit at least the phase length and are
+truncated to it exactly, so phase boundaries land on the same operation
+index in every thread -- which is what lets the core model attribute stall
+cycles per phase by position alone.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..trace.ops import MemOp
+from ..trace.trace import MultiThreadedTrace, Trace
+from ..workloads.generator import SyntheticWorkloadGenerator, phase_rng
+from .patterns import PATTERNS
+from .spec import PhaseSpec, ScenarioSpec
+
+
+def emit_phase_ops(phase: PhaseSpec, phase_index: int, thread_id: int,
+                   num_threads: int, seed: int) -> List[MemOp]:
+    """Emit exactly ``phase.ops_per_thread`` operations for one thread."""
+    rng = phase_rng(seed, thread_id, phase_index)
+    count = phase.ops_per_thread
+    if phase.workload is not None:
+        generator = SyntheticWorkloadGenerator(phase.workload, num_threads, seed)
+        ops = generator.emit_ops(thread_id, rng, count)
+    else:
+        assert phase.pattern is not None
+        ops = PATTERNS[phase.pattern].emit(rng, thread_id, num_threads,
+                                           count, phase.params)
+    del ops[count:]
+    return ops
+
+
+def generate_scenario(spec: ScenarioSpec, num_threads: int,
+                      seed: int = 0) -> MultiThreadedTrace:
+    """Generate the phase-spliced trace for ``spec``."""
+    traces: List[Trace] = []
+    for thread_id in range(num_threads):
+        ops: List[MemOp] = []
+        for phase_index, phase in enumerate(spec.phases):
+            ops.extend(emit_phase_ops(phase, phase_index, thread_id,
+                                      num_threads, seed))
+        traces.append(Trace(ops, thread_id=thread_id))
+    return MultiThreadedTrace(traces, name=spec.name, seed=seed,
+                              phases=spec.phase_marks())

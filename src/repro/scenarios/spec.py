@@ -1,0 +1,119 @@
+"""Scenario specifications: ordered phases over workloads and patterns.
+
+A :class:`ScenarioSpec` is a declarative, ordered list of
+:class:`PhaseSpec` entries.  Each phase pairs a duration (operations per
+thread) with *either* a full :class:`~repro.workloads.spec.WorkloadSpec`
+(the statistical background-mix generator) *or* a named sharing-pattern
+primitive from :mod:`repro.scenarios.patterns` plus its parameters.  The
+scenario engine splices the per-phase streams into one trace per thread;
+the simulator then attributes stall cycles back to each phase.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..errors import ScenarioError
+from ..workloads.spec import WorkloadSpec
+from .patterns import PATTERNS
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One phase: a duration plus what the threads do during it."""
+
+    name: str
+    ops_per_thread: int
+    #: background-mix phase: a full workload specification.
+    workload: Optional[WorkloadSpec] = None
+    #: sharing-pattern phase: a primitive name from ``patterns.PATTERNS``.
+    pattern: Optional[str] = None
+    #: parameters forwarded to the pattern emitter.
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ScenarioError("phase name must be non-empty")
+        if self.ops_per_thread <= 0:
+            raise ScenarioError(
+                f"phase {self.name!r} needs a positive ops_per_thread"
+            )
+        if (self.workload is None) == (self.pattern is None):
+            raise ScenarioError(
+                f"phase {self.name!r} must set exactly one of workload/pattern"
+            )
+        if self.pattern is not None and self.pattern not in PATTERNS:
+            raise ScenarioError(
+                f"phase {self.name!r} names unknown pattern {self.pattern!r}; "
+                f"available: {', '.join(PATTERNS)}"
+            )
+        if self.params and self.pattern is None:
+            raise ScenarioError(
+                f"phase {self.name!r} has pattern params but no pattern"
+            )
+
+    def scaled(self, ops_per_thread: int) -> "PhaseSpec":
+        return dataclasses.replace(self, ops_per_thread=ops_per_thread)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """An ordered list of phases forming one workload scenario."""
+
+    name: str
+    description: str = ""
+    phases: Tuple[PhaseSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ScenarioError("scenario name must be non-empty")
+        if not self.phases:
+            raise ScenarioError(f"scenario {self.name!r} needs at least one phase")
+        object.__setattr__(self, "phases", tuple(self.phases))
+
+    @property
+    def total_ops_per_thread(self) -> int:
+        return sum(p.ops_per_thread for p in self.phases)
+
+    def scaled(self, ops_per_thread: int) -> "ScenarioSpec":
+        """Rescale to a total trace length, preserving phase proportions.
+
+        Every phase keeps at least one operation and the scaled lengths sum
+        exactly to ``ops_per_thread`` (remainders are distributed to the
+        earliest phases), so experiment settings can trade fidelity for
+        runtime exactly as they do for plain workloads.
+        """
+        if ops_per_thread < len(self.phases):
+            raise ScenarioError(
+                f"cannot scale scenario {self.name!r} to {ops_per_thread} ops: "
+                f"it has {len(self.phases)} phases"
+            )
+        total = self.total_ops_per_thread
+        shares = [max(1, (p.ops_per_thread * ops_per_thread) // total)
+                  for p in self.phases]
+        index = 0
+        while sum(shares) < ops_per_thread:
+            shares[index % len(shares)] += 1
+            index += 1
+        while sum(shares) > ops_per_thread:
+            largest = max(range(len(shares)), key=lambda i: (shares[i], -i))
+            if shares[largest] <= 1:  # pragma: no cover - guarded above
+                raise ScenarioError("scenario scaling underflow")
+            shares[largest] -= 1
+        phases = tuple(p.scaled(n) for p, n in zip(self.phases, shares))
+        return dataclasses.replace(self, phases=phases)
+
+    def phase_marks(self) -> List[Tuple[str, int]]:
+        """The (name, ops) pairs recorded on generated traces."""
+        return [(p.name, p.ops_per_thread) for p in self.phases]
+
+    def describe(self) -> Dict[str, str]:
+        """Printable summary (used by ``scenario list``)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "phases": " -> ".join(p.name for p in self.phases),
+            "ops/thread": str(self.total_ops_per_thread),
+        }

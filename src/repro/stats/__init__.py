@@ -10,6 +10,12 @@ from .breakdown import (
     speedup_table,
 )
 from .confidence import ConfidenceInterval, mean_confidence_interval
+from .phases import (
+    format_phase_breakdown,
+    merged_phase_stats,
+    phase_breakdown,
+    phase_labels,
+)
 from .report import format_breakdown_table, format_series_table, format_table
 
 __all__ = [
@@ -22,6 +28,10 @@ __all__ = [
     "speedup_table",
     "ConfidenceInterval",
     "mean_confidence_interval",
+    "format_phase_breakdown",
+    "merged_phase_stats",
+    "phase_breakdown",
+    "phase_labels",
     "format_table",
     "format_breakdown_table",
     "format_series_table",

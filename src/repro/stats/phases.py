@@ -1,0 +1,86 @@
+"""Per-phase stall attribution (scenario runs).
+
+A phase-structured run carries ``RunResult.phase_stats``: for every phase
+of the scenario, the counter deltas each core accumulated while executing
+that phase's slice of its trace.  The helpers here turn those deltas into
+the paper's stall taxonomy (busy / other / SB full / SB drain / violation)
+reported *per phase*, so qualitatively different sharing patterns inside
+one run can be compared directly instead of being averaged away.
+
+Attribution policy: cycles belong to the phase whose operations charged
+them.  End-of-trace work (store-buffer drain, final speculation commit) is
+charged to the last phase.  A speculation that spans a phase boundary and
+aborts is charged -- violation cycles and the replayed operations alike --
+to the phase containing its checkpoint, i.e. where re-execution resumes
+(the boundary snapshot is discarded on rollback and re-taken on the
+re-crossing).  Phases that finish inside the measurement warmup window
+report zero counters, except for warmup operations replayed after a
+later speculation abort.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..cpu.stats import BREAKDOWN_COMPONENTS, CoreStats
+from ..engine.results import RunResult
+from .report import format_table
+
+
+def phase_labels(result: RunResult) -> List[str]:
+    """Ordered, unique display labels (phase names may repeat)."""
+    if not result.phase_names:
+        return []
+    return [f"{i + 1}:{name}" for i, name in enumerate(result.phase_names)]
+
+
+def merged_phase_stats(result: RunResult) -> Dict[str, CoreStats]:
+    """Per-phase stats merged over all cores, keyed by display label."""
+    labels = phase_labels(result)
+    merged: Dict[str, CoreStats] = {}
+    for label, per_core in zip(labels, result.phase_stats or []):
+        total = CoreStats()
+        for stats in per_core:
+            total.merge(stats)
+        merged[label] = total
+    return merged
+
+
+def phase_breakdown(result: RunResult,
+                    normalize: bool = True) -> Dict[str, Dict[str, float]]:
+    """Stall-taxonomy breakdown per phase.
+
+    With ``normalize`` (the default) each component is a percentage of
+    that phase's own accounted cycles, so phases of different lengths are
+    comparable; otherwise raw cycle counts are returned.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for label, stats in merged_phase_stats(result).items():
+        values = {name: float(getattr(stats, name))
+                  for name in BREAKDOWN_COMPONENTS}
+        if normalize:
+            total = sum(values.values())
+            values = {name: (100.0 * v / total if total else 0.0)
+                      for name, v in values.items()}
+        out[label] = values
+    return out
+
+
+def format_phase_breakdown(result: RunResult,
+                           title: Optional[str] = None) -> str:
+    """Per-phase stall table for one run (the ``scenario run`` output)."""
+    merged = merged_phase_stats(result)
+    percentages = phase_breakdown(result, normalize=True)
+    num_cores = max(1, len(result.core_stats))
+    headers = ["phase", "cycles/core"] + [f"{c} %" for c in BREAKDOWN_COMPONENTS] \
+        + ["aborts"]
+    rows: List[List[object]] = []
+    for label, stats in merged.items():
+        row: List[object] = [label, f"{stats.total_accounted() / num_cores:.0f}"]
+        row.extend(percentages[label][c] for c in BREAKDOWN_COMPONENTS)
+        row.append(stats.aborts)
+        rows.append(row)
+    if title is None:
+        title = (f"Per-phase stall breakdown: {result.workload} "
+                 f"(% of each phase's accounted cycles)")
+    return format_table(headers, rows, title=title)

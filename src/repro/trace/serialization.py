@@ -67,6 +67,8 @@ def save_trace(trace: MultiThreadedTrace, path: Union[str, Path]) -> None:
             "threads": trace.num_threads,
             "ops_per_thread": [len(t) for t in trace],
         }
+        if trace.phases is not None:
+            header["phases"] = [[name, count] for name, count in trace.phases]
         handle.write(json.dumps(header) + "\n")
         for thread in trace:
             for op in thread:
@@ -95,5 +97,8 @@ def load_trace(path: Union[str, Path]) -> MultiThreadedTrace:
                     raise TraceError(f"{path} truncated while reading thread {thread_id}")
                 ops.append(_decode_op(json.loads(line)))
             traces.append(Trace(ops, thread_id=thread_id))
+    phases = header.get("phases")
+    if phases is not None:
+        phases = [(name, int(count)) for name, count in phases]
     return MultiThreadedTrace(traces, name=header.get("name", path.stem),
-                              seed=header.get("seed"))
+                              seed=header.get("seed"), phases=phases)

@@ -3,14 +3,24 @@
 A :class:`Trace` is one thread's program-order operation sequence; a
 :class:`MultiThreadedTrace` bundles one trace per core plus bookkeeping used
 by the experiment drivers (workload name, generator seed).
+
+Phase-structured traces (produced by the scenario engine) additionally
+carry ``phases``: an ordered tuple of ``(name, ops_per_thread)`` pairs
+describing how each thread's stream splits into consecutive phases.  Phase
+boundaries are positional -- operation indices, identical across threads --
+so the core model can attribute stall cycles to the phase that incurred
+them without any per-op tagging.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import TraceError
 from .ops import MemOp, OpKind
+
+#: One phase of a phase-structured trace: (phase name, ops per thread).
+PhaseMark = Tuple[str, int]
 
 
 class Trace:
@@ -74,7 +84,8 @@ class MultiThreadedTrace:
     """A bundle of per-core traces produced by a workload generator."""
 
     def __init__(self, traces: Sequence[Trace], name: str = "anonymous",
-                 seed: Optional[int] = None) -> None:
+                 seed: Optional[int] = None,
+                 phases: Optional[Sequence[PhaseMark]] = None) -> None:
         if not traces:
             raise TraceError("a multi-threaded trace needs at least one thread")
         self._traces = list(traces)
@@ -82,6 +93,39 @@ class MultiThreadedTrace:
             trace.thread_id = index
         self.name = name
         self.seed = seed
+        self.phases: Optional[Tuple[PhaseMark, ...]] = None
+        if phases is not None:
+            marks = tuple((str(n), int(count)) for n, count in phases)
+            if not marks:
+                raise TraceError("a phase-structured trace needs at least one phase")
+            if any(count <= 0 for _, count in marks):
+                raise TraceError("phase lengths must be positive")
+            total = sum(count for _, count in marks)
+            for trace in self._traces:
+                if len(trace) != total:
+                    raise TraceError(
+                        f"thread {trace.thread_id} has {len(trace)} ops but the "
+                        f"phase layout describes {total}"
+                    )
+            self.phases = marks
+
+    @property
+    def phase_names(self) -> Optional[Tuple[str, ...]]:
+        if self.phases is None:
+            return None
+        return tuple(name for name, _ in self.phases)
+
+    @property
+    def phase_bounds(self) -> Optional[Tuple[int, ...]]:
+        """Cumulative per-thread end indices of each phase."""
+        if self.phases is None:
+            return None
+        bounds: List[int] = []
+        total = 0
+        for _, count in self.phases:
+            total += count
+            bounds.append(total)
+        return tuple(bounds)
 
     @property
     def num_threads(self) -> int:

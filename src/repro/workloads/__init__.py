@@ -18,9 +18,10 @@ See DESIGN.md for the substitution rationale and
 from .spec import WorkloadSpec
 from .generator import SyntheticWorkloadGenerator, generate_workload
 from .presets import WORKLOAD_PRESETS, preset, workload_names
-from .registry import build_trace
+from .registry import build_trace, resolve_spec
 
 __all__ = [
+    "resolve_spec",
     "WorkloadSpec",
     "SyntheticWorkloadGenerator",
     "generate_workload",

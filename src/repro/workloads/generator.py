@@ -51,6 +51,22 @@ def _block_to_addr(block: int, rng: np.random.Generator) -> int:
     return block * BLOCK_BYTES + offset
 
 
+def thread_rng(seed: int, thread_id: int) -> np.random.Generator:
+    """The per-thread RNG stream used by single-spec workloads."""
+    return np.random.default_rng((seed * 65_537 + thread_id) & 0x7FFFFFFF)
+
+
+def phase_rng(seed: int, thread_id: int, phase_index: int) -> np.random.Generator:
+    """Deterministic per-(seed, thread, phase) RNG stream.
+
+    Phase splicing derives every phase's stream independently, so editing
+    one phase of a scenario leaves the operations of every other phase
+    bitwise unchanged.
+    """
+    entropy = (seed & 0xFFFFFFFF, thread_id, phase_index)
+    return np.random.default_rng(np.random.SeedSequence(entropy))
+
+
 class SyntheticWorkloadGenerator:
     """Generates a :class:`MultiThreadedTrace` from a :class:`WorkloadSpec`."""
 
@@ -66,8 +82,20 @@ class SyntheticWorkloadGenerator:
         return MultiThreadedTrace(traces, name=self.spec.name, seed=self.seed)
 
     def generate_thread(self, thread_id: int) -> Trace:
+        rng = thread_rng(self.seed, thread_id)
+        ops = self.emit_ops(thread_id, rng, self.spec.ops_per_thread)
+        return Trace(ops, thread_id=thread_id)
+
+    def emit_ops(self, thread_id: int, rng: np.random.Generator,
+                 count: int) -> List[MemOp]:
+        """Emit exactly ``count`` operations of this spec's mix.
+
+        The RNG is injected so the scenario engine's phase splicing can
+        drive one spec with an independent per-(seed, thread, phase)
+        stream; :meth:`generate_thread` wraps this with the classic
+        per-thread stream.
+        """
         spec = self.spec
-        rng = np.random.default_rng((self.seed * 65_537 + thread_id) & 0x7FFFFFFF)
         ops: List[MemOp] = []
 
         private_base = _PRIVATE_BASE + thread_id * _PRIVATE_STRIDE
@@ -75,14 +103,14 @@ class SyntheticWorkloadGenerator:
         shared_recent: List[int] = []
 
         sync_prob = 1.0 / spec.sync_interval
-        while len(ops) < spec.ops_per_thread:
+        while len(ops) < count:
             if rng.random() < sync_prob:
                 self._emit_critical_section(ops, rng, thread_id)
             else:
                 self._emit_background_op(ops, rng, private_base,
                                          private_recent, shared_recent)
-        del ops[spec.ops_per_thread:]
-        return Trace(ops, thread_id=thread_id)
+        del ops[count:]
+        return ops
 
     # -- pieces ------------------------------------------------------------------
 

@@ -70,6 +70,25 @@ class TestConfidenceIntervals:
         assert interval.half_width == 0.0
         assert interval.samples == 1
 
+    def test_single_sample_never_nan_regression(self):
+        """n < 2 must yield a finite point estimate, not NaN or an error.
+
+        Regression guard for single-seed runs: ``std(ddof=1)`` of one
+        sample is NaN, so the n == 1 case must short-circuit before the
+        Student-t machinery at every confidence level.
+        """
+        for confidence in (0.5, 0.90, 0.95, 0.999):
+            interval = mean_confidence_interval([7.25], confidence=confidence)
+            assert math.isfinite(interval.mean)
+            assert math.isfinite(interval.half_width)
+            assert interval.half_width == 0.0
+            assert interval.low == interval.mean == interval.high == 7.25
+            assert interval.confidence == confidence
+
+    def test_single_sample_accepts_any_iterable(self):
+        interval = mean_confidence_interval(iter([3.0]))
+        assert interval.samples == 1 and interval.half_width == 0.0
+
     def test_constant_samples_zero_width(self):
         interval = mean_confidence_interval([1.0, 1.0, 1.0, 1.0])
         assert interval.half_width == pytest.approx(0.0)
