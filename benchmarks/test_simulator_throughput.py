@@ -6,6 +6,15 @@ independently of the figure harness; the campaign benchmarks time the
 same cells through the executor cold (every cell simulated) and cached
 (every cell a disk hit), so executor overhead and cache regressions show
 up in the perf trajectory too.
+
+The ``*_throughput`` benchmarks time the default compiled/batched fast
+kernel; the ``*_reference_throughput`` ones time the retained
+one-event-per-op reference path, so the fast-path gain stays measurable
+in every run.  (The reference path shares the data-structure
+optimisations -- O(1) store-buffer timing queries, lazy cache sets, the
+latency matrix -- so the fast/reference ratio *understates* the speedup
+over the pre-refactor kernel.)  ``repro bench`` writes the same
+measurements to ``BENCH_kernel.json`` for the committed perf trajectory.
 """
 
 import pytest
@@ -47,6 +56,27 @@ def test_invisifence_selective_throughput(benchmark, trace):
 
 def test_invisifence_continuous_throughput(benchmark, trace):
     result = benchmark(simulate, _config(SpeculationMode.CONTINUOUS), trace)
+    assert result.runtime > 0
+
+
+# -- retained reference engine (differential baseline) ------------------------
+
+
+def test_conventional_sc_reference_throughput(benchmark, trace):
+    result = benchmark(simulate, _config(SpeculationMode.NONE), trace,
+                       engine="reference")
+    assert result.runtime > 0
+
+
+def test_invisifence_selective_reference_throughput(benchmark, trace):
+    result = benchmark(simulate, _config(SpeculationMode.SELECTIVE), trace,
+                       engine="reference")
+    assert result.runtime > 0
+
+
+def test_invisifence_continuous_reference_throughput(benchmark, trace):
+    result = benchmark(simulate, _config(SpeculationMode.CONTINUOUS), trace,
+                       engine="reference")
     assert result.runtime > 0
 
 

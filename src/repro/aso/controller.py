@@ -42,6 +42,7 @@ class ASOController(InvisiFenceSelective):
         self.sb = ScalableStoreBuffer(
             drain_cycles_per_store=self.spec_config.aso_drain_cycles_per_store
         )
+        self._sb_coalescing = False
         self._ops_since_checkpoint = 0
 
     # -- periodic checkpoints -------------------------------------------------

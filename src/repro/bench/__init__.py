@@ -1,0 +1,28 @@
+"""Kernel benchmarking: the data source of the perf trajectory.
+
+``repro bench`` times the execution kernel itself (ops/sec per controller
+kind), the campaign executor cold vs. cached, and scenario trace splicing,
+and writes the results to ``BENCH_kernel.json`` in a documented schema so
+successive PRs can be compared.  See :mod:`repro.bench.harness` for the
+schema and :func:`check_against_baseline` for the CI regression gate.
+"""
+
+from .harness import (
+    BENCH_SCHEMA_VERSION,
+    BenchPreset,
+    check_against_baseline,
+    format_bench_report,
+    load_report,
+    run_bench,
+    write_report,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchPreset",
+    "check_against_baseline",
+    "format_bench_report",
+    "load_report",
+    "run_bench",
+    "write_report",
+]

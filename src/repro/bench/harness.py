@@ -1,0 +1,257 @@
+"""The ``repro bench`` harness: time the kernel, write ``BENCH_kernel.json``.
+
+Three subsystems are measured, each with best-of-``repeats`` wall-clock
+timing (the minimum is robust against scheduler noise):
+
+* **kernel** -- ``simulate()`` throughput in trace ops/sec for one workload
+  under the three controller kinds (conventional ``sc``, selective
+  ``invisi_sc``, continuous ``invisi_cont``), using the selected engine
+  (``fast`` by default; ``reference`` times the retained pre-refactor
+  execution path so before/after comparisons need no git checkout).
+* **campaign** -- the campaign executor over a small (config x workload)
+  sweep, cold (every cell simulated) and cached (every cell a disk hit).
+  The executor is production plumbing and always runs the default fast
+  kernel regardless of ``--engine``; ``preset.engine`` describes the
+  kernel section only.
+* **scenario** -- phase splicing: building one phase-structured scenario
+  trace, which exercises the scenario engine and per-phase RNG streams
+  (no simulation, so no engine applies).
+
+Output schema (``BENCH_kernel.json``, version 1)::
+
+    {
+      "schema": 1,
+      "preset": {"name", "workload", "num_cores", "ops_per_thread",
+                 "seed", "repeats", "engine"},
+      "kernels": [{"config", "total_ops", "runtime_cycles",
+                   "events_processed", "best_seconds", "ops_per_sec"}],
+      "campaign": {"cells", "cold_seconds", "cached_seconds",
+                   "cached_speedup"},
+      "scenario": {"name", "num_threads", "ops_per_thread",
+                   "best_seconds", "ops_per_sec"}
+    }
+
+``ops_per_sec`` is trace operations simulated (or spliced) per second of
+wall clock.  :func:`check_against_baseline` compares the per-kernel
+``ops_per_sec`` of a fresh report against a committed baseline file and
+reports regressions beyond a tolerance; the CI ``bench`` job fails on it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..campaign import CampaignExecutor, Job, ResultCache
+from ..engine.simulator import simulate
+from ..experiments.common import ExperimentSettings, make_config
+from ..workloads.registry import build_trace
+
+#: bump on any change to the report layout so stale baselines are rejected.
+BENCH_SCHEMA_VERSION = 1
+
+#: configuration short-names covering the three controller kinds.
+KERNEL_CONFIGS = ("sc", "invisi_sc", "invisi_cont")
+
+#: scenario used for the splicing benchmark.
+SCENARIO_NAME = "false-sharing-storm"
+
+
+@dataclass(frozen=True)
+class BenchPreset:
+    """Scale of one bench run."""
+
+    name: str = "default"
+    workload: str = "apache"
+    num_cores: int = 4
+    ops_per_thread: int = 2000
+    seed: int = 3
+    repeats: int = 3
+    engine: str = "fast"
+
+    @classmethod
+    def small(cls, engine: str = "fast") -> "BenchPreset":
+        """CI-sized preset: fast enough for a smoke job."""
+        return cls(name="small", num_cores=2, ops_per_thread=400, repeats=2,
+                   engine=engine)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "workload": self.workload,
+            "num_cores": self.num_cores,
+            "ops_per_thread": self.ops_per_thread,
+            "seed": self.seed,
+            "repeats": self.repeats,
+            "engine": self.engine,
+        }
+
+
+def _best_of(repeats: int, fn: Callable[[], Any]) -> Tuple[float, Any]:
+    """Minimum wall-clock over ``repeats`` calls, plus the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, result
+
+
+def _bench_kernels(preset: BenchPreset,
+                   settings: ExperimentSettings) -> List[Dict[str, Any]]:
+    trace = build_trace(preset.workload, num_threads=preset.num_cores,
+                        ops_per_thread=preset.ops_per_thread, seed=preset.seed)
+    total_ops = trace.total_ops()
+    kernels: List[Dict[str, Any]] = []
+    for name in KERNEL_CONFIGS:
+        config = make_config(name, settings)
+        best, result = _best_of(
+            preset.repeats, lambda: simulate(config, trace, engine=preset.engine))
+        kernels.append({
+            "config": name,
+            "total_ops": total_ops,
+            "runtime_cycles": result.runtime,
+            "events_processed": result.events_processed,
+            "best_seconds": best,
+            "ops_per_sec": total_ops / best if best > 0 else 0.0,
+        })
+    return kernels
+
+
+def _bench_campaign(preset: BenchPreset, settings: ExperimentSettings,
+                    cache_dir: Path) -> Dict[str, Any]:
+    cells = [Job(name, preset.workload, preset.seed)
+             for name in ("sc", "invisi_sc")]
+    cold_executor = CampaignExecutor(settings, jobs=1)
+    cold, _ = _best_of(preset.repeats, lambda: cold_executor.run(cells))
+    cached_executor = CampaignExecutor(settings, jobs=1,
+                                       cache=ResultCache(cache_dir))
+    cached_executor.run(cells)  # warm the cache
+    cached, _ = _best_of(preset.repeats, lambda: cached_executor.run(cells))
+    return {
+        "cells": len(cells),
+        "cold_seconds": cold,
+        "cached_seconds": cached,
+        "cached_speedup": cold / cached if cached > 0 else 0.0,
+    }
+
+
+def _bench_scenario(preset: BenchPreset) -> Dict[str, Any]:
+    best, trace = _best_of(
+        preset.repeats,
+        lambda: build_trace(SCENARIO_NAME, num_threads=preset.num_cores,
+                            ops_per_thread=preset.ops_per_thread,
+                            seed=preset.seed))
+    total_ops = trace.total_ops()
+    return {
+        "name": SCENARIO_NAME,
+        "num_threads": preset.num_cores,
+        "ops_per_thread": preset.ops_per_thread,
+        "best_seconds": best,
+        "ops_per_sec": total_ops / best if best > 0 else 0.0,
+    }
+
+
+def run_bench(preset: BenchPreset, cache_dir: Path) -> Dict[str, Any]:
+    """Run the full bench suite; returns the report (see module docstring).
+
+    ``cache_dir`` holds the throwaway result cache used by the campaign
+    cached-path measurement; callers normally pass a temporary directory.
+    """
+    settings = ExperimentSettings(
+        num_cores=preset.num_cores, ops_per_thread=preset.ops_per_thread,
+        seeds=(preset.seed,), workloads=(preset.workload,),
+        warmup_fraction=0.0)
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "preset": preset.to_dict(),
+        "kernels": _bench_kernels(preset, settings),
+        "campaign": _bench_campaign(preset, settings, cache_dir),
+        "scenario": _bench_scenario(preset),
+    }
+
+
+def format_bench_report(report: Dict[str, Any]) -> str:
+    """Human-readable summary of a bench report."""
+    preset = report["preset"]
+    lines = [
+        f"repro bench ({preset['name']} preset, engine={preset['engine']}): "
+        f"{preset['workload']} x {preset['num_cores']} cores x "
+        f"{preset['ops_per_thread']} ops/thread, best of {preset['repeats']}",
+    ]
+    for kernel in report["kernels"]:
+        lines.append(
+            f"  kernel {kernel['config']:<12} {kernel['ops_per_sec']:>12,.0f} ops/s "
+            f"({kernel['best_seconds'] * 1000:.1f} ms, "
+            f"{kernel['events_processed']} events)")
+    campaign = report["campaign"]
+    lines.append(
+        f"  campaign {campaign['cells']} cells: cold "
+        f"{campaign['cold_seconds'] * 1000:.1f} ms, cached "
+        f"{campaign['cached_seconds'] * 1000:.1f} ms "
+        f"({campaign['cached_speedup']:.1f}x)")
+    scenario = report["scenario"]
+    lines.append(
+        f"  scenario {scenario['name']}: splice "
+        f"{scenario['ops_per_sec']:>12,.0f} ops/s "
+        f"({scenario['best_seconds'] * 1000:.1f} ms)")
+    return "\n".join(lines)
+
+
+def check_against_baseline(report: Dict[str, Any], baseline: Dict[str, Any],
+                           tolerance: float = 0.30) -> List[str]:
+    """Compare kernel throughput against a baseline report.
+
+    Returns a list of human-readable regression messages; empty means the
+    report is within ``tolerance`` (fractional allowed slowdown) of the
+    baseline on every kernel.  Schema mismatches and preset mismatches
+    (engine, workload, scale, seed) are reported as failures rather than
+    silently compared.
+    """
+    failures: List[str] = []
+    if baseline.get("schema") != report.get("schema"):
+        return [f"baseline schema {baseline.get('schema')!r} does not match "
+                f"report schema {report.get('schema')!r}"]
+    # Throughput numbers are only comparable at the same scale and engine.
+    report_preset = report.get("preset", {})
+    baseline_preset = baseline.get("preset", {})
+    for field in ("engine", "workload", "num_cores", "ops_per_thread", "seed"):
+        if report_preset.get(field) != baseline_preset.get(field):
+            failures.append(
+                f"preset mismatch on {field!r}: report "
+                f"{report_preset.get(field)!r} vs baseline "
+                f"{baseline_preset.get(field)!r} (throughput not comparable)")
+    if failures:
+        return failures
+    base_kernels = {k["config"]: k for k in baseline.get("kernels", [])}
+    for kernel in report["kernels"]:
+        name = kernel["config"]
+        base = base_kernels.get(name)
+        if base is None:
+            failures.append(f"kernel {name}: missing from baseline")
+            continue
+        floor = base["ops_per_sec"] * (1.0 - tolerance)
+        if kernel["ops_per_sec"] < floor:
+            failures.append(
+                f"kernel {name}: {kernel['ops_per_sec']:,.0f} ops/s is below "
+                f"{floor:,.0f} (baseline {base['ops_per_sec']:,.0f} "
+                f"- {tolerance:.0%} tolerance)")
+    return failures
+
+
+def load_report(path: Path) -> Dict[str, Any]:
+    """Read a bench report / baseline file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def write_report(report: Dict[str, Any], path: Path) -> None:
+    """Write a bench report with stable key order."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -31,7 +31,7 @@ from ..config import SystemConfig
 from ..errors import SimulationError
 from ..interconnect.latency import LatencyModel
 from ..interconnect.topology import TorusTopology
-from ..memory.address import block_address
+from ..memory.address import block_mask
 from ..memory.block import CoherenceState
 from ..memory.cache import CacheArray
 from .directory import Directory
@@ -59,7 +59,8 @@ class ExternalConflictListener(Protocol):
 class MemorySystem:
     """Directory-coherent memory hierarchy shared by all cores."""
 
-    def __init__(self, config: SystemConfig, record_transactions: bool = False) -> None:
+    def __init__(self, config: SystemConfig, record_transactions: bool = False,
+                 fast_path: bool = True) -> None:
         self._config = config
         self._topology = TorusTopology(config.interconnect)
         self._latency = LatencyModel(config, self._topology)
@@ -68,6 +69,13 @@ class MemorySystem:
         self._directory = Directory(config.block_bytes)
         self._listeners: Dict[int, ExternalConflictListener] = {}
         self._record = record_transactions
+        self._block_mask = block_mask(config.block_bytes)
+        self._num_nodes = self._topology.num_nodes
+        #: when True, :meth:`load_hit_time`/:meth:`store_hit_time` resolve
+        #: sufficient-state L1 hits without building an :class:`AccessOutcome`;
+        #: when False they always decline, forcing every access down the
+        #: reference path through :meth:`access`.
+        self._fast = fast_path
         self.transactions: List[TransactionRecord] = []
         # simple per-core counters
         self.l1_hits = [0] * config.num_cores
@@ -81,6 +89,11 @@ class MemorySystem:
     @property
     def config(self) -> SystemConfig:
         return self._config
+
+    @property
+    def fast(self) -> bool:
+        """True when the allocation-free hit fast path is enabled."""
+        return self._fast
 
     @property
     def topology(self) -> TorusTopology:
@@ -106,7 +119,7 @@ class MemorySystem:
         self._listeners[core_id] = listener
 
     def _block(self, addr: int) -> int:
-        return block_address(addr, self._config.block_bytes)
+        return addr & self._block_mask
 
     # -- public access API -------------------------------------------------
 
@@ -143,6 +156,42 @@ class MemorySystem:
         kind = TransactionKind.GETM if is_write else TransactionKind.GETS
         return self._transaction(core_id, baddr, kind, now, spec_checkpoint)
 
+    # -- allocation-free hit fast paths -------------------------------------
+    #
+    # The hot loops of every controller boil down to "does this access hit a
+    # line already in a sufficient state, and when does it complete?".  These
+    # two methods answer exactly that with a plain int -- no AccessOutcome,
+    # no TransactionRecord -- and decline (return None) in every other case,
+    # leaving the requester's L1/LRU state exactly as :meth:`access` would
+    # have at the same point, so callers can fall back to the full path.
+
+    def load_hit_time(self, core_id: int, addr: int, now: int,
+                      spec_checkpoint: Optional[int] = None) -> Optional[int]:
+        """Completion time of a load that hits, or ``None`` (take the slow path)."""
+        if not self._fast:
+            return None
+        block = self._l1s[core_id].lookup(addr & self._block_mask)
+        if block is None:
+            return None
+        self.l1_hits[core_id] += 1
+        if spec_checkpoint is not None:
+            block.mark_spec_read(spec_checkpoint)
+        return now + self._config.l1.hit_latency
+
+    def store_hit_time(self, core_id: int, addr: int, now: int,
+                       spec_checkpoint: Optional[int] = None) -> Optional[int]:
+        """Completion time of a store that hits writable, or ``None``."""
+        if not self._fast:
+            return None
+        block = self._l1s[core_id].lookup(addr & self._block_mask)
+        if block is None:
+            return None
+        state = block.state
+        if state is not CoherenceState.MODIFIED and state is not CoherenceState.EXCLUSIVE:
+            return None
+        self.l1_hits[core_id] += 1
+        return self._write_hit_time(core_id, block, now, spec_checkpoint)
+
     def is_write_hit(self, core_id: int, addr: int) -> bool:
         """Would a store to ``addr`` complete immediately in the L1?"""
         return self._l1s[core_id].is_writable(addr)
@@ -152,13 +201,13 @@ class MemorySystem:
 
     # -- write-hit path (including speculative dirty-block cleaning) -------
 
-    def _write_hit(self, core_id: int, block, now: int,
-                   spec_checkpoint: Optional[int]) -> AccessOutcome:
+    def _write_hit_time(self, core_id: int, block, now: int,
+                        spec_checkpoint: Optional[int]) -> int:
+        """Apply a write hit's state changes; return its completion time."""
         if spec_checkpoint is None:
             block.state = CoherenceState.MODIFIED
             block.dirty = True
-            return AccessOutcome(hit=True, state=block.state,
-                                 completion_time=now + self._config.l1.hit_latency)
+            return now + self._config.l1.hit_latency
         # Speculative store.  If the block is non-speculatively dirty, the
         # only copy of the pre-speculative data is in this L1, so a clean
         # writeback pushes it to the L2 before the speculative value may
@@ -172,6 +221,11 @@ class MemorySystem:
             completion = now + self._config.clean_writeback_latency
         block.mark_spec_written(spec_checkpoint)
         block.state = CoherenceState.MODIFIED
+        return completion
+
+    def _write_hit(self, core_id: int, block, now: int,
+                   spec_checkpoint: Optional[int]) -> AccessOutcome:
+        completion = self._write_hit_time(core_id, block, now, spec_checkpoint)
         return AccessOutcome(hit=True, state=block.state, completion_time=completion)
 
     # -- the coherence transaction engine ----------------------------------
@@ -179,7 +233,7 @@ class MemorySystem:
     def _transaction(self, core_id: int, baddr: int, kind: TransactionKind,
                      now: int, spec_checkpoint: Optional[int]) -> AccessOutcome:
         config = self._config
-        home = self._topology.home_node(baddr, config.block_bytes)
+        home = (baddr // config.block_bytes) % self._num_nodes
         entry = self._directory.entry(baddr)
         is_write = kind in (TransactionKind.GETM, TransactionKind.UPGRADE)
 
@@ -196,8 +250,13 @@ class MemorySystem:
             entry.owner = None
         entry.sharers.discard(core_id)
 
-        record = TransactionRecord(kind=kind, requester=core_id, block_address=baddr,
-                                   issue_time=now, start_time=start, completion_time=start)
+        # Record objects are for analysis only; skip building them (two list
+        # allocations each) unless transaction recording is on.
+        record = None
+        if self._record:
+            record = TransactionRecord(kind=kind, requester=core_id,
+                                       block_address=baddr, issue_time=now,
+                                       start_time=start, completion_time=start)
 
         completion = start
         if entry.owner is not None:
@@ -209,7 +268,8 @@ class MemorySystem:
             completion += self._latency.data_response(home, core_id)
             if not l2_hit:
                 self._l2.install(baddr)
-        record.l2_hit = l2_hit
+        if record is not None:
+            record.l2_hit = l2_hit
 
         if is_write and entry.sharers:
             completion = max(completion,
@@ -249,8 +309,8 @@ class MemorySystem:
             earliest = now + config.l1.hit_latency + forced_delay
             completion = max(earliest, completion - config.store_prefetch_lead)
 
-        record.completion_time = completion
-        if self._record:
+        if record is not None:
+            record.completion_time = completion
             self.transactions.append(record)
         entry.check()
         return AccessOutcome(hit=False, state=new_state, completion_time=completion,
@@ -261,7 +321,8 @@ class MemorySystem:
         """Forward the request to the current owner (three-hop transaction)."""
         owner = entry.owner
         assert owner is not None and owner != core_id
-        record.forwarded_from_owner = owner
+        if record is not None:
+            record.forwarded_from_owner = owner
         completion = start + self._config.directory_latency
         completion += self._latency.owner_forward(home, owner, core_id)
 
@@ -274,8 +335,10 @@ class MemorySystem:
             if conflicts:
                 arrival = start + self._latency.network(home, owner)
                 conflict_delay = self._resolve_conflict(owner, baddr, is_write, arrival)
-                record.conflicts.append(owner)
-                record.deferred_cycles = max(record.deferred_cycles, conflict_delay)
+                if record is not None:
+                    record.conflicts.append(owner)
+                    record.deferred_cycles = max(record.deferred_cycles,
+                                                 conflict_delay)
             if is_write:
                 owner_block.invalidate()
             else:
@@ -300,7 +363,8 @@ class MemorySystem:
         for sharer in sorted(entry.sharers):
             if sharer == core_id:
                 continue
-            record.invalidated_sharers.append(sharer)
+            if record is not None:
+                record.invalidated_sharers.append(sharer)
             arrival = start + self._latency.network(home, sharer)
             ack = arrival + self._latency.network(sharer, core_id)
             sharer_l1 = self._l1s[sharer]
@@ -309,8 +373,9 @@ class MemorySystem:
                 if sharer_block.conflicts_with_external_write():
                     delay = self._resolve_conflict(sharer, baddr, True, arrival)
                     ack += delay
-                    record.conflicts.append(sharer)
-                    record.deferred_cycles = max(record.deferred_cycles, delay)
+                    if record is not None:
+                        record.conflicts.append(sharer)
+                        record.deferred_cycles = max(record.deferred_cycles, delay)
                 sharer_block.invalidate()
             worst = max(worst, ack)
         return worst

@@ -51,6 +51,11 @@ class ConsistencyController:
         assert self.config.store_buffer is not None
         self.sb: StoreBufferBase = make_store_buffer(self.config.store_buffer)
         self.rules: OrderingRules = rules_for(self.config.consistency)
+        #: cached ``isinstance`` check for the per-store dispatch; subclasses
+        #: that replace ``self.sb`` (ASO) must refresh it.
+        self._sb_coalescing = isinstance(self.sb, CoalescingStoreBuffer)
+        #: cached fast-path flag of the memory system (immutable per run).
+        self._mem_fast = self.mem.fast
 
     # ------------------------------------------------------------------
     # Interface used by the Core
@@ -111,7 +116,7 @@ class ConsistencyController:
             self.stats.add_cycles(category, cycles)
 
     def _do_compute(self, op: MemOp, now: int) -> int:
-        self._account("busy", op.cycles)
+        self.stats.busy += op.cycles  # MemOp validates cycles >= 1
         return now + op.cycles
 
     def _wait_for_sb_slot(self, now: int) -> int:
@@ -135,6 +140,17 @@ class ConsistencyController:
                  spec_checkpoint: Optional[int] = None) -> int:
         """Perform a load; classify the miss latency as ``other``."""
         self.stats.loads += 1
+        completion = self.mem.load_hit_time(self.core_id, op.address, now,
+                                            spec_checkpoint)
+        if completion is not None:
+            # Hit fast path: no outcome object, no forced-commit delay.
+            finish = max(completion, now + RETIRE_CYCLES)
+            total = finish - now
+            busy = min(total, RETIRE_CYCLES)
+            stats = self.stats
+            stats.busy += busy
+            stats.other += total - busy
+            return finish
         outcome = self.mem.access(self.core_id, op.address, is_write=False,
                                   now=now, spec_checkpoint=spec_checkpoint)
         return self._finish_access(outcome, now)
@@ -161,23 +177,21 @@ class ConsistencyController:
         with a FIFO buffer every store occupies an entry to preserve order.
         """
         self.stats.stores += 1
-        coalescing = isinstance(self.sb, CoalescingStoreBuffer)
 
-        if coalescing and self.mem.is_write_hit(self.core_id, op.address) \
-                and not self.sb.has_block(op.address, now):
-            outcome = self.mem.access(self.core_id, op.address, is_write=True,
-                                      now=now, spec_checkpoint=spec_checkpoint)
-            if outcome.completion_time <= now + self.config.l1.hit_latency:
-                self._account("busy", RETIRE_CYCLES)
-                return now + RETIRE_CYCLES
-            # A speculative store to a dirty block waits for the cleaning
-            # writeback inside the store buffer.
-            now = self._wait_for_sb_slot(now)
-            self.sb.add_store(op.address, now, outcome.completion_time,
-                              speculative=spec_checkpoint is not None,
-                              checkpoint_id=spec_checkpoint)
-            self._account("busy", RETIRE_CYCLES)
-            return now + RETIRE_CYCLES
+        if self._sb_coalescing:
+            if self._mem_fast:
+                if not self.sb.has_block(op.address, now):
+                    completion = self.mem.store_hit_time(
+                        self.core_id, op.address, now, spec_checkpoint)
+                    if completion is not None:
+                        return self._retire_store_hit(op, now, completion,
+                                                      spec_checkpoint)
+            elif self.mem.is_write_hit(self.core_id, op.address) \
+                    and not self.sb.has_block(op.address, now):
+                outcome = self.mem.access(self.core_id, op.address, is_write=True,
+                                          now=now, spec_checkpoint=spec_checkpoint)
+                return self._retire_store_hit(op, now, outcome.completion_time,
+                                              spec_checkpoint)
 
         now = self._wait_for_sb_slot(now)
         outcome = self.mem.access(self.core_id, op.address, is_write=True,
@@ -192,6 +206,21 @@ class ConsistencyController:
         self._account("busy", RETIRE_CYCLES)
         return now + RETIRE_CYCLES
 
+    def _retire_store_hit(self, op: MemOp, now: int, completion: int,
+                          spec_checkpoint: Optional[int]) -> int:
+        """Retire a store whose block already had write permission."""
+        if completion <= now + self.config.l1.hit_latency:
+            self.stats.busy += RETIRE_CYCLES
+            return now + RETIRE_CYCLES
+        # A speculative store to a dirty block waits for the cleaning
+        # writeback inside the store buffer.
+        now = self._wait_for_sb_slot(now)
+        self.sb.add_store(op.address, now, completion,
+                          speculative=spec_checkpoint is not None,
+                          checkpoint_id=spec_checkpoint)
+        self.stats.busy += RETIRE_CYCLES
+        return now + RETIRE_CYCLES
+
     def _do_atomic_blocking(self, op: MemOp, now: int,
                             category: str = "sb_drain") -> int:
         """Perform an atomic that stalls retirement until it completes.
@@ -201,8 +230,11 @@ class ConsistencyController:
         ordering/atomicity stall.
         """
         self.stats.atomics += 1
-        outcome = self.mem.access(self.core_id, op.address, is_write=True, now=now)
-        finish = max(outcome.completion_time, now + 2 * RETIRE_CYCLES)
+        completion = self.mem.store_hit_time(self.core_id, op.address, now)
+        if completion is None:
+            completion = self.mem.access(self.core_id, op.address,
+                                         is_write=True, now=now).completion_time
+        finish = max(completion, now + 2 * RETIRE_CYCLES)
         total = finish - now
         busy = min(total, 2 * RETIRE_CYCLES)
         self._account("busy", busy)
@@ -219,18 +251,19 @@ class ConsistencyController:
         store buffer.
         """
         self.stats.atomics += 1
-        if self.mem.is_write_hit(self.core_id, op.address) \
+        if self._mem_fast:
+            if not self.sb.has_block(op.address, now):
+                completion = self.mem.store_hit_time(
+                    self.core_id, op.address, now, spec_checkpoint)
+                if completion is not None:
+                    return self._retire_atomic_hit(op, now, completion,
+                                                   spec_checkpoint)
+        elif self.mem.is_write_hit(self.core_id, op.address) \
                 and not self.sb.has_block(op.address, now):
             outcome = self.mem.access(self.core_id, op.address, is_write=True,
                                       now=now, spec_checkpoint=spec_checkpoint)
-            if outcome.completion_time <= now + self.config.l1.hit_latency:
-                self._account("busy", 2 * RETIRE_CYCLES)
-                return now + 2 * RETIRE_CYCLES
-            now = self._wait_for_sb_slot(now)
-            self.sb.add_store(op.address, now, outcome.completion_time,
-                              speculative=True, checkpoint_id=spec_checkpoint)
-            self._account("busy", 2 * RETIRE_CYCLES)
-            return now + 2 * RETIRE_CYCLES
+            return self._retire_atomic_hit(op, now, outcome.completion_time,
+                                           spec_checkpoint)
         now = self._wait_for_sb_slot(now)
         outcome = self.mem.access(self.core_id, op.address, is_write=True,
                                   now=now, spec_checkpoint=spec_checkpoint)
@@ -243,8 +276,20 @@ class ConsistencyController:
         self._account("busy", 2 * RETIRE_CYCLES)
         return now + 2 * RETIRE_CYCLES
 
+    def _retire_atomic_hit(self, op: MemOp, now: int, completion: int,
+                           spec_checkpoint: int) -> int:
+        """Retire a speculative atomic whose block had write permission."""
+        if completion <= now + self.config.l1.hit_latency:
+            self._account("busy", 2 * RETIRE_CYCLES)
+            return now + 2 * RETIRE_CYCLES
+        now = self._wait_for_sb_slot(now)
+        self.sb.add_store(op.address, now, completion,
+                          speculative=True, checkpoint_id=spec_checkpoint)
+        self._account("busy", 2 * RETIRE_CYCLES)
+        return now + 2 * RETIRE_CYCLES
+
     def _do_fence_free(self, op: MemOp, now: int) -> int:
         """Retire a fence without any ordering stall."""
         self.stats.fences += 1
-        self._account("busy", RETIRE_CYCLES)
+        self.stats.busy += RETIRE_CYCLES
         return now + RETIRE_CYCLES

@@ -34,17 +34,19 @@ class ConventionalController(ConsistencyController):
     """Shared op dispatch for the three conventional implementations."""
 
     def process_op(self, op: MemOp, now: int) -> int:
-        if op.kind is OpKind.COMPUTE:
-            return self._do_compute(op, now)
-        if op.kind is OpKind.LOAD:
+        # Dispatch ordered by dynamic frequency (loads/stores dominate).
+        kind = op.kind
+        if kind is OpKind.LOAD:
             if self.rules.load_requires_drain and not self.sb.is_empty(now):
                 now = self._drain_store_buffer(now)
             return self._do_load(op, now)
-        if op.kind is OpKind.STORE:
+        if kind is OpKind.STORE:
             return self._do_store(op, now)
-        if op.kind is OpKind.ATOMIC:
+        if kind is OpKind.COMPUTE:
+            return self._do_compute(op, now)
+        if kind is OpKind.ATOMIC:
             return self._process_atomic(op, now)
-        if op.kind is OpKind.FENCE:
+        if kind is OpKind.FENCE:
             return self._process_fence(op, now)
         raise ConfigurationError(f"unhandled operation kind {op.kind}")  # pragma: no cover
 

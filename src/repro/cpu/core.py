@@ -6,11 +6,35 @@ controller, which returns the time at which the operation finished
 retiring.  The core then schedules itself to process the next operation at
 that time.
 
+Two step implementations exist and are proven equivalent by the
+differential suite (``tests/test_differential.py``):
+
+* the **reference path** (``batching=False``) schedules one heap event per
+  operation, exactly as the original engine did;
+* the **fast path** (``batching=True``, the default) consumes the trace's
+  compiled struct-of-arrays form and batches runs of operations in a
+  single event: after finishing an op at time *t*, if the next pending
+  heap event is *strictly later* than *t*, no other event in the whole
+  system can fire before this core's next step would, so the next op is
+  processed inline ("run-until-interesting").  The queue clock and the
+  processed-event count are advanced exactly as if the per-op event had
+  been scheduled and popped, which keeps results bitwise identical.
+
+The batch condition is exact rather than heuristic: cross-core
+interactions (coherence transactions, conflict-triggered aborts, commit
+checks) all travel through the event queue or happen synchronously inside
+this core's own ``process_op`` call, so "no earlier-or-equal pending
+event" really does mean "nothing can observe or perturb this core before
+its next step".  Events scheduled *during* an inlined op (e.g. a deferred
+abort on another core) are seen by the very next peek, ending the batch.
+
 Speculative controllers can roll the core back: :meth:`Core.rollback`
 resets the trace index to the checkpointed position, bumps the core's
 generation counter (which cancels any in-flight step event), and
-reschedules processing.  Controllers can also schedule auxiliary callbacks
-(commit checks, deferred aborts) through :meth:`Core.schedule_call`.
+reschedules processing.  Rollback targets are plain trace indices, so they
+map back to exact positions in the compiled arrays regardless of how ops
+were batched.  Controllers can also schedule auxiliary callbacks (commit
+checks, deferred aborts) through :meth:`Core.schedule_call`.
 """
 
 from __future__ import annotations
@@ -27,6 +51,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..consistency.base import ConsistencyController
     from ..engine.events import EventQueue
 
+#: Upper bound on ops processed inline by one step event.  Scheduling the
+#: next step through the heap is observably identical to inlining it (the
+#: batch condition guarantees no other event can fire in between), so the
+#: cap changes nothing except returning control to ``EventQueue.run``
+#: periodically -- which is what keeps the simulator's ``max_events``
+#: runaway backstop effective under the fast path (e.g. against a
+#: controller that answers ``("wait", now + k)`` at trace end forever).
+_MAX_INLINE_BATCH = 4096
+
 
 class Core:
     """One simulated processor core."""
@@ -34,7 +67,8 @@ class Core:
     def __init__(self, core_id: int, trace: Trace, config: SystemConfig,
                  mem: "MemorySystem", events: "EventQueue",
                  warmup_ops: int = 0,
-                 phase_bounds: Optional[Sequence[int]] = None) -> None:
+                 phase_bounds: Optional[Sequence[int]] = None,
+                 batching: bool = True) -> None:
         self.core_id = core_id
         self.trace = trace
         self.config = config
@@ -42,6 +76,13 @@ class Core:
         self.events = events
         self.stats = CoreStats()
         self.controller: Optional["ConsistencyController"] = None
+        #: True for the batched fast path, False for the one-event-per-op
+        #: reference path (kept for differential equivalence testing).
+        self.batching = batching
+        compiled = trace.compiled()
+        self._ops = compiled.ops
+        self._instr_weights = compiled.instr_weights
+        self._trace_len = compiled.length
 
         self._index = 0
         self._generation = 0
@@ -120,6 +161,13 @@ class Core:
         """Schedule the first processing step."""
         if self.controller is None:
             raise SimulationError(f"core {self.core_id} has no controller attached")
+        # Re-resolve the compiled form in case the trace was mutated between
+        # construction and start (compiled() is cached, so this is free in
+        # the normal build-then-run flow).
+        compiled = self.trace.compiled()
+        self._ops = compiled.ops
+        self._instr_weights = compiled.instr_weights
+        self._trace_len = compiled.length
         self._schedule_step(at)
 
     def schedule_call(self, time: int, callback: Callable[[int], None]) -> None:
@@ -127,8 +175,7 @@ class Core:
         self.events.schedule(time, callback)
 
     def _schedule_step(self, time: int) -> None:
-        generation = self._generation
-        self.events.schedule(time, lambda now, gen=generation: self._step(now, gen))
+        self.events.schedule_step(time, self, self._generation)
 
     def rollback(self, trace_index: int, now: int) -> None:
         """Reset the trace position after an abort and resume at ``now``."""
@@ -149,9 +196,13 @@ class Core:
     # -- the per-op step -----------------------------------------------------------
 
     def _step(self, now: int, generation: int) -> None:
-        if generation != self._generation or self._finished:
-            return
-        assert self.controller is not None
+        if self.batching:
+            self._step_fast(now, generation)
+        else:
+            self._step_reference(now, generation)
+
+    def _pre_op(self) -> None:
+        """Warmup reset and phase-boundary snapshots for the op at ``_index``."""
         if not self._warmup_done and self._index >= self.warmup_ops:
             self.stats.reset_measurement()
             self.controller.on_measurement_reset()
@@ -164,31 +215,104 @@ class Core:
                 and self._index >= self._inner_bounds[self._next_bound]:
             self._phase_snaps[self._next_bound] = self.stats.full_snapshot()
             self._next_bound += 1
-        if self._index >= len(self.trace):
-            self._handle_trace_end(now)
+
+    def _step_fast(self, now: int, generation: int) -> None:
+        """Batched step: process ops inline until another event is due."""
+        if generation != self._generation or self._finished:
             return
-        op = self.trace[self._index]
+        assert self.controller is not None
+        process_op = self.controller.process_op
+        events = self.events
+        ops = self._ops
+        weights = self._instr_weights
+        trace_len = self._trace_len
+        stats = self.stats
+        budget = _MAX_INLINE_BATCH
+        while True:
+            if not self._warmup_done or self._next_bound < len(self._inner_bounds):
+                self._pre_op()
+            index = self._index
+            if index >= trace_len:
+                wake = self._handle_trace_end(now)
+                if wake is None:
+                    return
+                # The trace-end wait is itself batchable: if nothing else
+                # fires before the wake time, continue inline.
+                head = events.next_time()
+                budget -= 1
+                limit = events.run_until
+                if budget > 0 and (head is None or head > wake) \
+                        and (limit is None or wake <= limit):
+                    events.note_inline(wake)
+                    now = wake
+                    continue
+                self._schedule_step(wake)
+                return
+            finish = process_op(ops[index], now)
+            if finish < now:
+                raise SimulationError(
+                    f"controller returned a finish time in the past on core {self.core_id}"
+                )
+            self._index = index + 1
+            stats.instructions += weights[index]
+            # Inline peek of the next live event (events._heap is re-read
+            # each iteration because compaction may rebind it).
+            heap = events._heap
+            if heap:
+                head_event = heap[0]
+                head = events.next_time() if head_event.cancelled \
+                    else head_event.time
+            else:
+                head = None
+            budget -= 1
+            limit = events.run_until
+            if budget > 0 and (head is None or head > finish) \
+                    and (limit is None or finish <= limit):
+                # No event anywhere in the system fires before this core's
+                # next step would (and the next step lies within the active
+                # run(until=...) horizon, if any): process the next op
+                # inline, keeping the clock and event count in lockstep
+                # with the reference path.
+                events.note_inline(finish)
+                now = finish
+                continue
+            self._schedule_step(finish)
+            return
+
+    def _step_reference(self, now: int, generation: int) -> None:
+        """Reference step: one heap event per operation (original engine)."""
+        if generation != self._generation or self._finished:
+            return
+        assert self.controller is not None
+        self._pre_op()
+        if self._index >= self._trace_len:
+            wake = self._handle_trace_end(now)
+            if wake is not None:
+                self._schedule_step(wake)
+            return
+        op = self._ops[self._index]
         finish = self.controller.process_op(op, now)
         if finish < now:
             raise SimulationError(
                 f"controller returned a finish time in the past on core {self.core_id}"
             )
+        self.stats.instructions += self._instr_weights[self._index]
         self._index += 1
-        self.stats.instructions += op.cycles if not op.is_memory and op.kind.value == "compute" else 1
         self._schedule_step(finish)
 
-    def _handle_trace_end(self, now: int) -> None:
+    def _handle_trace_end(self, now: int) -> Optional[int]:
+        """Finish the core or return the wake time to re-check at."""
         assert self.controller is not None
         status, time = self.controller.at_trace_end(now)
         if status == "done":
             self._finished = True
             self.finish_time = max(time, now)
             self.stats.finish_time = self.finish_time
-        elif status == "wait":
+            return None
+        if status == "wait":
             if time <= now:
                 raise SimulationError(
                     "controller asked to wait without advancing time at trace end"
                 )
-            self._schedule_step(time)
-        else:  # pragma: no cover - defensive
-            raise SimulationError(f"unknown trace-end status {status!r}")
+            return time
+        raise SimulationError(f"unknown trace-end status {status!r}")  # pragma: no cover

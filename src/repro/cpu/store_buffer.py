@@ -29,12 +29,13 @@ using the inserting core's own (monotonically advancing) clock.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import List, Optional
 
 from ..config import StoreBufferConfig, StoreBufferKind
 from ..errors import StoreBufferError
-from ..memory.address import block_address, word_address
+from ..memory.address import block_mask, word_address
 
 
 @dataclass
@@ -59,6 +60,11 @@ class StoreBufferBase:
         self._config = config
         self._entries: List[StoreBufferEntry] = []
         self._insertions = 0
+        #: largest release time over current entries (0 when empty); kept so
+        #: the per-op ``is_empty``/``drain_time`` queries are O(1).  Entry
+        #: removal can only drop already-released entries (purge) or trigger
+        #: a recompute (flash invalidation), so the maximum stays exact.
+        self._max_release = 0
         self.peak_occupancy = 0
         self.total_inserted = 0
         self.flash_invalidated = 0
@@ -93,12 +99,17 @@ class StoreBufferBase:
             self._entries = [e for e in self._entries if e.release_time > now]
 
     def occupancy(self, now: int) -> int:
-        return len(self._live(now))
+        return sum(1 for e in self._entries if e.release_time > now)
 
     def is_empty(self, now: int) -> bool:
-        return self.occupancy(now) == 0
+        # O(1): every current entry's release time is <= _max_release.
+        return self._max_release <= now
 
     def is_full(self, now: int) -> bool:
+        # Fewer current entries than capacity can never be full; counting is
+        # only needed in the (rare) at-capacity case.
+        if len(self._entries) < self.capacity:
+            return False
         return self.occupancy(now) >= self.capacity
 
     def entries(self, now: Optional[int] = None) -> List[StoreBufferEntry]:
@@ -110,10 +121,9 @@ class StoreBufferBase:
 
     def drain_time(self, now: int) -> int:
         """Time at which the buffer will be empty, given current contents."""
-        live = self._live(now)
-        if not live:
-            return now
-        return max(e.release_time for e in live)
+        # O(1): the live entry with the largest release time is the last to
+        # leave, and that maximum is tracked incrementally.
+        return self._max_release if self._max_release > now else now
 
     def next_free_slot_time(self, now: int) -> int:
         """Earliest time at which at least one entry will be free."""
@@ -131,7 +141,10 @@ class StoreBufferBase:
     def has_block(self, addr: int, now: int) -> bool:
         """True when any live entry covers ``addr`` at this buffer's granularity."""
         baddr = self._buffer_address(addr)
-        return any(e.address == baddr for e in self._live(now))
+        for e in self._entries:
+            if e.address == baddr and e.release_time > now:
+                return True
+        return False
 
     # -- speculation support ---------------------------------------------------
 
@@ -148,8 +161,15 @@ class StoreBufferBase:
         before = len(self._entries)
         self._entries = [e for e in self._entries if not doomed(e)]
         dropped = before - len(self._entries)
+        if dropped:
+            self._max_release = max(
+                (e.release_time for e in self._entries), default=0)
+            self._on_entries_rebuilt()
         self.flash_invalidated += dropped
         return dropped
+
+    def _on_entries_rebuilt(self) -> None:
+        """Hook for subclasses that keep parallel per-entry arrays."""
 
     def mark_all_non_speculative(self, now: int,
                                  checkpoint_id: Optional[int] = None) -> None:
@@ -172,19 +192,58 @@ class StoreBufferBase:
         self._insertions += 1
         self.total_inserted += 1
         self._entries.append(entry)
-        self.peak_occupancy = max(self.peak_occupancy, self.occupancy(now))
+        if entry.release_time > self._max_release:
+            self._max_release = entry.release_time
+        # add_store purges released entries before appending, so every
+        # current entry is live and the occupancy is just the list length.
+        if len(self._entries) > self.peak_occupancy:
+            self.peak_occupancy = len(self._entries)
 
 
 class FIFOStoreBuffer(StoreBufferBase):
-    """Word-granularity, age-ordered store buffer (conventional SC/TSO)."""
+    """Word-granularity, age-ordered store buffer (conventional SC/TSO).
+
+    Release times are a running maximum over insertion order, so they are
+    monotonically non-decreasing along ``_entries``.  A parallel sorted
+    array of release times therefore answers the per-op occupancy and
+    purge queries by binary search instead of scanning.
+    """
 
     def __init__(self, config: StoreBufferConfig) -> None:
         if config.kind is not StoreBufferKind.FIFO_WORD:
             raise StoreBufferError("FIFOStoreBuffer requires a FIFO_WORD configuration")
         super().__init__(config)
+        #: release times parallel to ``_entries`` (non-decreasing).
+        self._releases: List[int] = []
 
     def _buffer_address(self, addr: int) -> int:
         return word_address(addr)
+
+    def _on_entries_rebuilt(self) -> None:
+        self._releases = [e.release_time for e in self._entries]
+
+    def occupancy(self, now: int) -> int:
+        releases = self._releases
+        return len(releases) - bisect_right(releases, now)
+
+    def is_full(self, now: int) -> bool:
+        releases = self._releases
+        return len(releases) - bisect_right(releases, now) >= self.capacity
+
+    def next_free_slot_time(self, now: int) -> int:
+        """Earliest time at which at least one entry will be free."""
+        releases = self._releases
+        first_live = bisect_right(releases, now)
+        if len(releases) - first_live < self.capacity:
+            return now
+        # Monotone release times: the oldest live entry leaves first.
+        return releases[first_live]
+
+    def _purge(self, now: int) -> None:
+        cut = bisect_right(self._releases, now)
+        if cut:
+            del self._entries[:cut]
+            del self._releases[:cut]
 
     def add_store(self, addr: int, now: int, completion_time: int,
                   speculative: bool = False,
@@ -194,7 +253,7 @@ class FIFOStoreBuffer(StoreBufferBase):
         # FIFO ordering: an entry can only be released after every older
         # entry has been released, so the release time is the running
         # maximum of completion times in insertion order.
-        previous_release = max((e.release_time for e in self._entries), default=now)
+        previous_release = self._releases[-1] if self._releases else now
         self._purge(now)
         release = max(completion_time, previous_release)
         entry = StoreBufferEntry(address=self._buffer_address(addr),
@@ -204,6 +263,7 @@ class FIFOStoreBuffer(StoreBufferBase):
                                  checkpoint_id=checkpoint_id,
                                  insertion_order=self._insertions)
         self._record_insertion(entry, now)
+        self._releases.append(release)
         return entry
 
 
@@ -217,15 +277,17 @@ class CoalescingStoreBuffer(StoreBufferBase):
             )
         super().__init__(config)
         self.coalesced = 0
+        self._entry_mask = block_mask(config.entry_bytes)
 
     def _buffer_address(self, addr: int) -> int:
-        return block_address(addr, self._config.entry_bytes)
+        return addr & self._entry_mask
 
     def find(self, addr: int, now: int, speculative: bool) -> Optional[StoreBufferEntry]:
         """Find an existing live entry this store may coalesce into."""
         baddr = self._buffer_address(addr)
-        for entry in self._live(now):
-            if entry.address == baddr and entry.speculative == speculative:
+        for entry in self._entries:
+            if entry.address == baddr and entry.speculative == speculative \
+                    and entry.release_time > now:
                 return entry
         return None
 
@@ -238,6 +300,8 @@ class CoalescingStoreBuffer(StoreBufferBase):
             self.coalesced += 1
             existing.completion_time = max(existing.completion_time, completion_time)
             existing.release_time = max(existing.release_time, completion_time)
+            if existing.release_time > self._max_release:
+                self._max_release = existing.release_time
             return existing
         if self.is_full(now):
             raise StoreBufferError(

@@ -1,13 +1,16 @@
 """Simulation engine: event queue, system builder, simulator, results."""
 
-from .events import Event, EventQueue
+from .events import CallbackEvent, Event, EventQueue, StepEvent
 from .results import RunResult, aggregate_breakdown
-from .system import System, build_system
+from .system import ENGINE_KINDS, System, build_system
 from .simulator import Simulator, simulate
 
 __all__ = [
+    "CallbackEvent",
+    "ENGINE_KINDS",
     "Event",
     "EventQueue",
+    "StepEvent",
     "RunResult",
     "aggregate_breakdown",
     "System",

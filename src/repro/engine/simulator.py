@@ -68,7 +68,14 @@ class Simulator:
 
 def simulate(config: SystemConfig, trace: MultiThreadedTrace,
              max_events: Optional[int] = None,
-             warmup_fraction: float = 0.0) -> RunResult:
-    """Convenience wrapper: build a system for ``trace`` and run it."""
-    system = build_system(config, trace, warmup_fraction=warmup_fraction)
+             warmup_fraction: float = 0.0, engine: str = "fast") -> RunResult:
+    """Convenience wrapper: build a system for ``trace`` and run it.
+
+    ``engine`` selects the execution kernel: ``"fast"`` (compiled traces,
+    batched steps, allocation-free hit path) or ``"reference"`` (the
+    original one-event-per-op path).  Results are bitwise identical; the
+    reference kernel exists for differential testing and benchmarking.
+    """
+    system = build_system(config, trace, warmup_fraction=warmup_fraction,
+                          engine=engine)
     return Simulator(system).run(max_events=max_events, seed=trace.seed)

@@ -72,15 +72,23 @@ class System:
         return max((core.finish_time or 0) for core in self.cores)
 
 
+#: Engine variants accepted by :func:`build_system`.  ``"fast"`` is the
+#: compiled/batched kernel; ``"reference"`` retains the original
+#: one-event-per-op, allocation-per-outcome execution path and exists so the
+#: differential suite can prove the fast path bitwise-equivalent.
+ENGINE_KINDS = ("fast", "reference")
+
+
 def build_system(config: SystemConfig, trace: MultiThreadedTrace,
-                 warmup_fraction: float = 0.0) -> System:
+                 warmup_fraction: float = 0.0, engine: str = "fast") -> System:
     """Build a system running ``trace`` under ``config``.
 
     The trace must provide at least as many threads as the configuration
     has cores; extra threads are ignored (with fewer threads than cores,
     the surplus cores simply stay idle).  ``warmup_fraction`` of each
     thread's leading operations are executed but excluded from the
-    statistics (cache warmup).
+    statistics (cache warmup).  ``engine`` selects the execution kernel
+    (see :data:`ENGINE_KINDS`); both kernels produce identical results.
     """
     if trace.num_threads < config.num_cores:
         raise ConfigurationError(
@@ -89,15 +97,21 @@ def build_system(config: SystemConfig, trace: MultiThreadedTrace,
         )
     if not 0.0 <= warmup_fraction < 1.0:
         raise ConfigurationError("warmup_fraction must lie in [0, 1)")
+    if engine not in ENGINE_KINDS:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; expected one of {ENGINE_KINDS}"
+        )
+    fast = engine == "fast"
     events = EventQueue()
-    memory = MemorySystem(config)
+    memory = MemorySystem(config, fast_path=fast)
     cores: List[Core] = []
     phase_bounds = trace.phase_bounds
     for core_id in range(config.num_cores):
         thread_trace = trace[core_id]
         warmup_ops = int(len(thread_trace) * warmup_fraction)
         core = Core(core_id, thread_trace, config, memory, events,
-                    warmup_ops=warmup_ops, phase_bounds=phase_bounds)
+                    warmup_ops=warmup_ops, phase_bounds=phase_bounds,
+                    batching=fast)
         controller = make_controller(core)
         core.attach_controller(controller)
         cores.append(core)

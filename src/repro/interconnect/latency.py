@@ -27,6 +27,12 @@ class LatencyModel:
         self._config = config
         self._topology = topology if topology is not None else TorusTopology(config.interconnect)
         self._hop = config.interconnect.hop_latency
+        # The torus is small (a handful of nodes), so the full one-way
+        # latency matrix is precomputed once and network() becomes two list
+        # indexes instead of a hop computation per transaction leg.
+        nodes = self._topology.num_nodes
+        self._net = [[self._topology.hops(src, dst) * self._hop
+                      for dst in range(nodes)] for src in range(nodes)]
 
     @property
     def topology(self) -> TorusTopology:
@@ -34,7 +40,7 @@ class LatencyModel:
 
     def network(self, src: int, dst: int) -> int:
         """One-way network latency between two nodes."""
-        return self._topology.hops(src, dst) * self._hop
+        return self._net[src][dst]
 
     def request_to_home(self, requester: int, home: int) -> int:
         return self.network(requester, home)

@@ -27,6 +27,16 @@ def block_address(addr: Address, block_bytes: int) -> Address:
     return addr & ~(block_bytes - 1)
 
 
+def block_mask(block_bytes: int) -> int:
+    """Validated AND-mask such that ``addr & mask == block_address(addr)``.
+
+    Hot paths precompute this once instead of calling :func:`block_address`
+    (and its power-of-two validation) per access.
+    """
+    _check_block_size(block_bytes)
+    return ~(block_bytes - 1)
+
+
 def block_index(addr: Address, block_bytes: int) -> int:
     """Return the index of the block containing ``addr``."""
     _check_block_size(block_bytes)

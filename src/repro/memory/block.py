@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Optional
+from typing import Dict, Optional
 
 
 class CoherenceState(Enum):
@@ -50,6 +50,11 @@ class CacheBlock:
     #: speculatively-written bit; ``None`` when clear, else the id of the
     #: checkpoint whose store set it first.
     spec_written: Optional[int] = None
+    #: the owning cache's speculative-block registry (address -> block).
+    #: Marking a bit records the block there so the flash circuits visit
+    #: only speculatively touched blocks instead of scanning the cache.
+    spec_registry: Optional[Dict[int, "CacheBlock"]] = \
+        field(default=None, compare=False, repr=False)
 
     # -- speculative-bit queries -----------------------------------------
 
@@ -80,10 +85,14 @@ class CacheBlock:
     def mark_spec_read(self, checkpoint_id: int) -> None:
         if self.spec_read is None:
             self.spec_read = checkpoint_id
+            if self.spec_registry is not None:
+                self.spec_registry[self.address] = self
 
     def mark_spec_written(self, checkpoint_id: int) -> None:
         if self.spec_written is None:
             self.spec_written = checkpoint_id
+            if self.spec_registry is not None:
+                self.spec_registry[self.address] = self
 
     def clear_spec_bits(self) -> None:
         """Flash-clear both speculative bits (commit path)."""

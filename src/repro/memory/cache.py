@@ -28,7 +28,7 @@ from typing import Dict, Iterator, List, Optional
 
 from ..config import CacheConfig
 from ..errors import SimulationError
-from .address import block_address
+from .address import block_address, block_mask
 from .block import CacheBlock, CoherenceState
 
 
@@ -53,8 +53,15 @@ class CacheArray:
         self._num_sets = config.num_sets
         self._assoc = config.associativity
         self._block_bytes = config.block_bytes
-        #: per-set mapping from block address to CacheBlock.
-        self._sets: List[Dict[int, CacheBlock]] = [dict() for _ in range(self._num_sets)]
+        self._block_mask = block_mask(self._block_bytes)
+        #: set-index -> {block address -> CacheBlock}; sets materialize on
+        #: first install so construction stays O(1) in the number of sets.
+        self._sets: Dict[int, Dict[int, CacheBlock]] = {}
+        #: blocks that have had a speculative bit set since the last flash
+        #: (address -> block, possibly stale); lets the flash circuits run
+        #: in O(speculative blocks) instead of O(cache size).  Blocks hold a
+        #: reference to this dict, so it is mutated in place, never rebound.
+        self._spec_marked: Dict[int, CacheBlock] = {}
         self._access_counter = 0
 
     # -- geometry helpers -------------------------------------------------
@@ -68,10 +75,15 @@ class CacheArray:
         return self._block_bytes
 
     def set_index(self, addr: int) -> int:
-        return (block_address(addr, self._block_bytes) // self._block_bytes) % self._num_sets
+        return ((addr & self._block_mask) // self._block_bytes) % self._num_sets
 
     def _set_for(self, addr: int) -> Dict[int, CacheBlock]:
-        return self._sets[self.set_index(addr)]
+        """The (materialized) set holding ``addr``; creates it if absent."""
+        index = self.set_index(addr)
+        cache_set = self._sets.get(index)
+        if cache_set is None:
+            cache_set = self._sets[index] = {}
+        return cache_set
 
     def _touch(self, block: CacheBlock) -> None:
         self._access_counter += 1
@@ -81,12 +93,16 @@ class CacheArray:
 
     def lookup(self, addr: int, touch: bool = True) -> Optional[CacheBlock]:
         """Return the valid block containing ``addr`` or ``None``."""
-        baddr = block_address(addr, self._block_bytes)
-        block = self._set_for(baddr).get(baddr)
-        if block is None or not block.state.is_valid:
+        baddr = addr & self._block_mask
+        cache_set = self._sets.get((baddr // self._block_bytes) % self._num_sets)
+        if cache_set is None:
+            return None
+        block = cache_set.get(baddr)
+        if block is None or block.state is CoherenceState.INVALID:
             return None
         if touch:
-            self._touch(block)
+            self._access_counter += 1
+            block.last_use = self._access_counter
         return block
 
     def contains(self, addr: int) -> bool:
@@ -94,16 +110,19 @@ class CacheArray:
 
     def is_writable(self, addr: int) -> bool:
         block = self.lookup(addr, touch=False)
-        return block is not None and block.state.is_writable
+        if block is None:
+            return False
+        state = block.state
+        return state is CoherenceState.MODIFIED or state is CoherenceState.EXCLUSIVE
 
     def __len__(self) -> int:
         return sum(
-            1 for s in self._sets for b in s.values() if b.state.is_valid
+            1 for s in self._sets.values() for b in s.values() if b.state.is_valid
         )
 
     def blocks(self) -> Iterator[CacheBlock]:
         """Iterate over all valid blocks (no LRU side effects)."""
-        for s in self._sets:
+        for s in self._sets.values():
             for block in s.values():
                 if block.state.is_valid:
                     yield block
@@ -125,7 +144,7 @@ class CacheArray:
         speculative state the caller must commit the current speculation
         first; no eviction is performed in that case.
         """
-        baddr = block_address(addr, self._block_bytes)
+        baddr = addr & self._block_mask
         cache_set = self._set_for(baddr)
         existing = cache_set.get(baddr)
         if existing is not None and existing.state.is_valid:
@@ -134,9 +153,12 @@ class CacheArray:
         # Drop any stale invalid entry for this address.
         if existing is not None:
             del cache_set[baddr]
-        # Purge invalid placeholders to free ways.
-        for key in [k for k, b in cache_set.items() if not b.state.is_valid]:
-            del cache_set[key]
+        if len(cache_set) >= self._assoc:
+            # Purge invalid placeholders to free ways; only needed once the
+            # raw way count fills up (invalid blocks are unobservable
+            # elsewhere: lookups, iteration, and len() all skip them).
+            for key in [k for k, b in cache_set.items() if not b.state.is_valid]:
+                del cache_set[key]
         if len(cache_set) < self._assoc:
             return EvictionResult(victim=None, needs_writeback=False,
                                   requires_forced_commit=False)
@@ -169,7 +191,7 @@ class CacheArray:
                     f"install into full set for address {baddr:#x}; "
                     "prepare_fill must be called first"
                 )
-            block = CacheBlock(address=baddr)
+            block = CacheBlock(address=baddr, spec_registry=self._spec_marked)
             cache_set[baddr] = block
         block.state = state
         block.dirty = dirty
@@ -178,10 +200,25 @@ class CacheArray:
 
     def remove(self, addr: int) -> Optional[CacheBlock]:
         """Remove and return the block containing ``addr`` (if present)."""
-        baddr = block_address(addr, self._block_bytes)
-        return self._set_for(baddr).pop(baddr, None)
+        baddr = addr & self._block_mask
+        cache_set = self._sets.get((baddr // self._block_bytes) % self._num_sets)
+        if cache_set is None:
+            return None
+        return cache_set.pop(baddr, None)
 
     # -- flash operations (Figure 3) --------------------------------------
+
+    def _is_current(self, block: CacheBlock) -> bool:
+        """Is ``block`` still this cache's resident copy of its address?"""
+        cache_set = self._sets.get(
+            (block.address // self._block_bytes) % self._num_sets)
+        return cache_set is not None and cache_set.get(block.address) is block
+
+    def _speculative_marked(self) -> List[CacheBlock]:
+        """Resident, valid, still-speculative blocks from the registry."""
+        return [block for block in self._spec_marked.values()
+                if block.speculative and block.state.is_valid
+                and self._is_current(block)]
 
     def flash_clear_spec_bits(self, checkpoint_id: Optional[int] = None) -> int:
         """Clear speculative bits; returns the number of blocks affected.
@@ -190,16 +227,23 @@ class CacheArray:
         checkpoint are cleared (used when one of two in-flight chunks
         commits).
         """
+        if not self._spec_marked:
+            return 0
         cleared = 0
-        for block in self.blocks():
-            if not block.speculative:
-                continue
+        survivors: Dict[int, CacheBlock] = {}
+        for block in self._speculative_marked():
             if checkpoint_id is None:
                 block.clear_spec_bits()
                 cleared += 1
             elif checkpoint_id in block.speculation_ids():
                 block.clear_spec_bits_for(checkpoint_id)
                 cleared += 1
+                if block.speculative:
+                    survivors[block.address] = block
+            else:
+                survivors[block.address] = block
+        self._spec_marked.clear()
+        self._spec_marked.update(survivors)
         return cleared
 
     def flash_invalidate_spec_written(
@@ -214,8 +258,13 @@ class CacheArray:
         as well, mirroring the full flash-clear that accompanies abort.
         """
         invalidated: List[int] = []
-        for block in list(self.blocks()):
-            if checkpoint_id is not None and checkpoint_id not in block.speculation_ids():
+        if not self._spec_marked:
+            return invalidated
+        survivors: Dict[int, CacheBlock] = {}
+        for block in self._speculative_marked():
+            if checkpoint_id is not None \
+                    and checkpoint_id not in block.speculation_ids():
+                survivors[block.address] = block
                 continue
             if block.spec_written is not None and (
                 checkpoint_id is None or block.spec_written == checkpoint_id
@@ -227,4 +276,8 @@ class CacheArray:
                     block.clear_spec_bits()
                 else:
                     block.clear_spec_bits_for(checkpoint_id)
+                    if block.speculative:
+                        survivors[block.address] = block
+        self._spec_marked.clear()
+        self._spec_marked.update(survivors)
         return invalidated

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import TraceError
+from .compiled import CompiledTrace
 from .ops import MemOp, OpKind
 
 #: One phase of a phase-structured trace: (phase name, ops per thread).
@@ -30,12 +31,25 @@ class Trace:
                  thread_id: int = 0) -> None:
         self._ops: List[MemOp] = list(ops) if ops is not None else []
         self.thread_id = thread_id
+        self._compiled: Optional[CompiledTrace] = None
 
     def append(self, op: MemOp) -> None:
         self._ops.append(op)
+        self._compiled = None
 
     def extend(self, ops: Iterable[MemOp]) -> None:
         self._ops.extend(ops)
+        self._compiled = None
+
+    def compiled(self) -> CompiledTrace:
+        """The struct-of-arrays execution form (built once, cached).
+
+        The cache is invalidated by :meth:`append`/:meth:`extend`, so the
+        arrays always describe the current operation list.
+        """
+        if self._compiled is None or self._compiled.length != len(self._ops):
+            self._compiled = CompiledTrace(self._ops)
+        return self._compiled
 
     def __len__(self) -> int:
         return len(self._ops)

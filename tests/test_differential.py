@@ -1,0 +1,148 @@
+"""Differential equivalence: compiled fast path vs. retained reference path.
+
+The whole-stack kernel refactor (compiled traces, batched steps, typed
+events, allocation-free coherence hit path) is gated by one guarantee:
+``simulate(..., engine="fast")`` and ``simulate(..., engine="reference")``
+produce *byte-identical* ``RunResult`` JSON -- every counter, every
+per-phase breakdown, every events-processed count.  This suite asserts
+that across every built-in workload preset, every registered scenario,
+and the three controller kinds, plus warmup and rollback-heavy corners,
+and that campaign cache keys/entries are engine-independent.
+"""
+
+import pytest
+
+from repro.campaign import Job, ResultCache
+from repro.campaign.cache import cache_key
+from repro.campaign.executor import CampaignExecutor
+from repro.engine.simulator import simulate
+from repro.engine.system import build_system
+from repro.errors import ConfigurationError
+from repro.experiments.common import ExperimentSettings, make_config
+from repro.scenarios.registry import scenario_names
+from repro.workloads.presets import workload_names
+from repro.workloads.registry import build_trace, resolve_spec
+
+#: one configuration per controller kind (conventional / selective /
+#: continuous speculation).
+CONTROLLER_CONFIGS = ("sc", "invisi_sc", "invisi_cont")
+
+_CORES = 2
+_OPS = 300
+
+ALL_WORKLOADS = tuple(workload_names()) + tuple(scenario_names())
+
+
+def _settings(ops: int = _OPS, warmup: float = 0.0) -> ExperimentSettings:
+    return ExperimentSettings(num_cores=_CORES, ops_per_thread=ops,
+                              seeds=(3,), warmup_fraction=warmup)
+
+
+def _run_both(config, trace, warmup: float = 0.0):
+    fast = simulate(config, trace, warmup_fraction=warmup, engine="fast")
+    ref = simulate(config, trace, warmup_fraction=warmup, engine="reference")
+    return fast, ref
+
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected(self):
+        trace = build_trace("apache", num_threads=_CORES,
+                            ops_per_thread=20, seed=1)
+        config = make_config("sc", _settings())
+        with pytest.raises(ConfigurationError):
+            build_system(config, trace, engine="turbo")
+
+    def test_fast_engine_batches_and_reference_does_not(self):
+        trace = build_trace("apache", num_threads=_CORES,
+                            ops_per_thread=20, seed=1)
+        config = make_config("sc", _settings())
+        fast_system = build_system(config, trace, engine="fast")
+        ref_system = build_system(config, trace, engine="reference")
+        assert all(core.batching for core in fast_system.cores)
+        assert not any(core.batching for core in ref_system.cores)
+        assert fast_system.memory.fast
+        assert not ref_system.memory.fast
+
+
+@pytest.mark.parametrize("config_name", CONTROLLER_CONFIGS)
+@pytest.mark.parametrize("workload", ALL_WORKLOADS)
+class TestByteIdenticalResults:
+    def test_run_results_byte_identical(self, config_name, workload):
+        """Every preset and scenario, every controller kind."""
+        trace = build_trace(workload, num_threads=_CORES,
+                            ops_per_thread=_OPS, seed=3)
+        config = make_config(config_name, _settings())
+        fast, ref = _run_both(config, trace)
+        assert fast.to_json() == ref.to_json()
+
+
+@pytest.mark.parametrize("config_name", CONTROLLER_CONFIGS)
+class TestEquivalenceCorners:
+    def test_with_warmup_fraction(self, config_name):
+        """Warmup resets counters mid-run; both paths must agree."""
+        trace = build_trace("apache", num_threads=_CORES,
+                            ops_per_thread=_OPS, seed=7)
+        config = make_config(config_name, _settings(warmup=0.25))
+        fast, ref = _run_both(config, trace, warmup=0.25)
+        assert fast.to_json() == ref.to_json()
+
+    def test_contended_scenario_with_warmup(self, config_name):
+        """Rollback-heavy false sharing exercises abort/replay batching."""
+        trace = build_trace("false-sharing-storm", num_threads=_CORES,
+                            ops_per_thread=_OPS, seed=11)
+        config = make_config(config_name, _settings(warmup=0.2))
+        fast, ref = _run_both(config, trace, warmup=0.2)
+        assert fast.to_json() == ref.to_json()
+
+    def test_multiple_seeds(self, config_name):
+        config = make_config(config_name, _settings())
+        for seed in (1, 2, 5):
+            trace = build_trace("ocean", num_threads=_CORES,
+                                ops_per_thread=200, seed=seed)
+            fast, ref = _run_both(config, trace)
+            assert fast.to_json() == ref.to_json()
+
+
+class TestSpeculativeCountersMatch:
+    def test_aborts_and_commits_identical_under_contention(self):
+        """The equivalence covers speculation activity, not just runtime."""
+        trace = build_trace("false-sharing-storm", num_threads=_CORES,
+                            ops_per_thread=_OPS, seed=13)
+        config = make_config("invisi_cont", _settings())
+        fast, ref = _run_both(config, trace)
+        fast_total, ref_total = fast.aggregate(), ref.aggregate()
+        assert fast_total.aborts == ref_total.aborts
+        assert fast_total.commits == ref_total.commits
+        assert fast_total.replayed_ops == ref_total.replayed_ops
+        assert fast_total.aborts > 0, "scenario expected to cause rollbacks"
+
+
+class TestCacheKeyStability:
+    def test_cache_key_is_engine_independent(self):
+        """The engine is an implementation detail, never a cache dimension."""
+        settings = _settings()
+        config = make_config("invisi_sc", settings)
+        spec = resolve_spec("apache", _OPS)
+        key = cache_key(config, spec, seed=3,
+                        warmup_fraction=settings.warmup_fraction)
+        assert key == cache_key(config, spec, seed=3,
+                                warmup_fraction=settings.warmup_fraction)
+
+    def test_cached_entry_bytes_match_reference_result(self, tmp_path):
+        """A cache warmed by the fast path serves byte-identical results."""
+        settings = _settings()
+        cache = ResultCache(tmp_path / "cache")
+        executor = CampaignExecutor(settings, jobs=1, cache=cache)
+        job = Job("invisi_sc", "apache", 3)
+        (fast_result,) = executor.run([job])
+
+        trace = build_trace("apache", num_threads=_CORES,
+                            ops_per_thread=_OPS, seed=3)
+        ref = simulate(make_config("invisi_sc", settings), trace,
+                       warmup_fraction=settings.warmup_fraction,
+                       engine="reference")
+        stored = cache.path_for(executor.key_for(job)).read_text(
+            encoding="utf-8")
+        assert fast_result.to_json() == ref.to_json()
+        # On-disk cache bytes equal what a reference-path run would store.
+        assert stored == ref.to_json()

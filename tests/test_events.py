@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.engine.events import EventQueue
+from repro.engine.events import CallbackEvent, EventQueue, StepEvent
 from repro.errors import SimulationError
 
 
@@ -107,3 +107,117 @@ class TestBoundedRun:
 
     def test_pop_returns_none_when_empty(self):
         assert EventQueue().pop() is None
+
+
+class TestTypedEvents:
+    def test_schedule_produces_callback_events(self):
+        queue = EventQueue()
+        event = queue.schedule(5, lambda now: None)
+        assert isinstance(event, CallbackEvent)
+        assert event.kind == "call"
+
+    def test_step_events_dispatch_to_the_core(self):
+        calls = []
+
+        class FakeCore:
+            def _step(self, now, generation):
+                calls.append((now, generation))
+
+        queue = EventQueue()
+        event = queue.schedule_step(7, FakeCore(), generation=3)
+        assert isinstance(event, StepEvent)
+        assert event.kind == "step"
+        queue.run()
+        assert calls == [(7, 3)]
+
+    def test_step_events_interleave_with_callbacks_deterministically(self):
+        order = []
+
+        class FakeCore:
+            def _step(self, now, generation):
+                order.append(("step", now))
+
+        queue = EventQueue()
+        queue.schedule(10, lambda now: order.append(("call", now)))
+        queue.schedule_step(10, FakeCore(), generation=0)
+        queue.schedule(5, lambda now: order.append(("call", now)))
+        queue.run()
+        assert order == [("call", 5), ("call", 10), ("step", 10)]
+
+    def test_step_event_cancel_via_generation_is_a_noop_fire(self):
+        fired = []
+
+        class FakeCore:
+            _generation = 1
+
+            def _step(self, now, generation):
+                if generation == self._generation:
+                    fired.append(now)
+
+        core = FakeCore()
+        queue = EventQueue()
+        queue.schedule_step(5, core, generation=0)  # stale generation
+        queue.schedule_step(6, core, generation=1)
+        queue.run()
+        assert fired == [6]
+
+
+class TestInlineAccounting:
+    def test_note_inline_advances_clock_and_count(self):
+        queue = EventQueue()
+        queue.schedule(10, lambda now: None)
+        queue.run()
+        queue.note_inline(25)
+        assert queue.now == 25
+        assert queue.processed == 2
+        with pytest.raises(SimulationError):
+            queue.schedule(20, lambda now: None)  # now in the past
+
+    def test_run_count_includes_inline_ops(self):
+        queue = EventQueue()
+
+        def batched(now):
+            queue.note_inline(now + 1)
+            queue.note_inline(now + 2)
+
+        queue.schedule(10, batched)
+        assert queue.run() == 3
+
+
+class TestHeapCompaction:
+    def test_cancelled_events_do_not_accumulate_unboundedly(self):
+        """Regression: heavy cancellation must keep the heap bounded."""
+        queue = EventQueue()
+        live = [queue.schedule(1_000_000 + i, lambda now: None)
+                for i in range(10)]
+        for i in range(10_000):
+            queue.schedule(10 + i, lambda now: None).cancel()
+        # Lazy deletion alone would leave ~10k dead entries; compaction
+        # keeps the heap within a small factor of the live count.
+        assert len(queue) == 10
+        assert len(queue._heap) <= 2 * len(queue) + 8
+        assert queue.compactions > 0
+        assert all(not e.cancelled for e in (queue._peek(),))
+        fired = []
+        queue.schedule(5, lambda now: fired.append(now))
+        queue.run()
+        assert fired == [5]
+        assert queue.empty()
+
+    def test_compaction_preserves_pop_order(self):
+        queue = EventQueue()
+        fired = []
+        events = [queue.schedule(t, lambda now, t=t: fired.append(t))
+                  for t in range(100)]
+        for event in events[::2]:
+            event.cancel()
+        queue.run()
+        assert fired == list(range(1, 100, 2))
+
+    def test_cancel_after_pop_does_not_corrupt_counters(self):
+        queue = EventQueue()
+        event = queue.schedule(5, lambda now: None)
+        queue.run()
+        event.cancel()
+        assert len(queue) == 0
+        assert queue.empty()

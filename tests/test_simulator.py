@@ -75,6 +75,41 @@ class TestSimulator:
         with pytest.raises(SimulationError):
             simulate(tiny_config(num_cores=2), small_trace(2), max_events=3)
 
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    def test_time_sliced_run_until_matches_one_shot(self, engine):
+        """run(until=T) must never advance past T, even with batching."""
+        config = tiny_config(num_cores=2)
+        one_shot = simulate(config, small_trace(2), engine=engine)
+
+        system = build_system(config, small_trace(2), engine=engine)
+        system.start()
+        horizon = 0
+        while not system.finished:
+            horizon += 17
+            system.events.run(until=horizon)
+            assert system.events.now <= horizon
+        sliced = RunResult(
+            config=system.config, workload=system.workload_name,
+            core_stats=[core.stats for core in system.cores],
+            runtime=system.finish_time(),
+            events_processed=system.events.processed, seed=7)
+        assert sliced.to_json() == one_shot.to_json()
+
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    def test_forever_waiting_controller_hits_the_backstop(self, engine):
+        """A controller that waits at trace end forever must raise, not hang.
+
+        Regression for the batched fast path: the inline trace-end wait
+        must periodically return to the event loop so the ``max_events``
+        runaway backstop stays effective.
+        """
+        system = build_system(tiny_config(num_cores=1), small_trace(1),
+                              engine=engine)
+        core = system.cores[0]
+        core.controller.at_trace_end = lambda now: ("wait", now + 10)
+        with pytest.raises(SimulationError, match="stalled"):
+            Simulator(system).run(max_events=20_000)
+
     def test_warmup_reduces_measured_cycles(self):
         full = simulate(tiny_config(num_cores=2), small_trace(2))
         warmed = simulate(tiny_config(num_cores=2), small_trace(2),
