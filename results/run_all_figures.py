@@ -13,9 +13,9 @@ import argparse, time
 from repro.campaign import ResultCache
 from repro.experiments import (CONFIG_NAMES, ExperimentSettings, ExperimentRunner,
                                run_figure1, run_figure8, run_figure9, run_figure10,
-                               run_figure11, run_figure12, run_scenarios,
-                               figure2_table, figure4_table, figure5_table,
-                               figure6_table, figure7_table)
+                               run_figure11, run_figure12, run_scaling,
+                               run_scenarios, figure2_table, figure4_table,
+                               figure5_table, figure6_table, figure7_table)
 from repro.scenarios import scenario_names
 
 NUM_CORES = 16
@@ -46,6 +46,13 @@ def main(out_path, jobs=1, cache_dir="results/cache"):
                                     scenarios=scenario_names())
     sections.append(scenario_result.format())
     print(f"scenarios done in {time.time()-t0:.0f}s", flush=True)
+    t0 = time.time()
+    # The machine-scaling study sweeps geometry (4..64 cores), so it runs
+    # its own per-core-count campaigns against the same shared cache.
+    scaling_result = run_scaling(settings, jobs=jobs, cache=cache)
+    sections.append(scaling_result.format())
+    print(f"scaling done in {time.time()-t0:.0f}s "
+          f"({scaling_result.report.describe(cache)})", flush=True)
     fig10 = run_figure10(settings, runner)
     sections.append(figure2_table())
     sections.append(figure4_table(fig10))

@@ -1,8 +1,9 @@
 """Setuptools entry point.
 
-Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
-offline environments whose setuptools predates native wheel support
-(the legacy ``setup.py develop`` code path needs this file).
+Kept alongside ``pyproject.toml`` (which holds all project metadata) so
+that ``pip install -e .`` works in offline environments whose setuptools
+predates native wheel support (the legacy ``setup.py develop`` code path
+needs this file).
 """
 
 from setuptools import setup

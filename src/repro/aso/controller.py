@@ -19,7 +19,6 @@ from typing import TYPE_CHECKING
 from ..config import ConsistencyModel
 from ..core.selective import InvisiFenceSelective
 from ..errors import ConfigurationError
-from ..trace.ops import MemOp, OpKind
 from .ssb import ScalableStoreBuffer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only

@@ -16,25 +16,33 @@ timing (the minimum is robust against scheduler noise):
 * **scenario** -- phase splicing: building one phase-structured scenario
   trace, which exercises the scenario engine and per-phase RNG streams
   (no simulation, so no engine applies).
+* **geometries** -- the ``sc`` kernel at each of the preset's machine
+  sizes (core counts resolved to tori by the geometry resolver), so a
+  regression that only bites at scale -- e.g. in the interconnect or the
+  directory -- cannot hide behind the small fixed-size kernel numbers.
 
-Output schema (``BENCH_kernel.json``, version 1)::
+Output schema (``BENCH_kernel.json``, version 2; v1 lacked the
+``geometries`` section and the ``geometry_cores`` preset field)::
 
     {
-      "schema": 1,
+      "schema": 2,
       "preset": {"name", "workload", "num_cores", "ops_per_thread",
-                 "seed", "repeats", "engine"},
+                 "seed", "repeats", "engine", "geometry_cores"},
       "kernels": [{"config", "total_ops", "runtime_cycles",
                    "events_processed", "best_seconds", "ops_per_sec"}],
       "campaign": {"cells", "cold_seconds", "cached_seconds",
                    "cached_speedup"},
       "scenario": {"name", "num_threads", "ops_per_thread",
-                   "best_seconds", "ops_per_sec"}
+                   "best_seconds", "ops_per_sec"},
+      "geometries": [{"num_cores", "mesh", "total_ops",
+                      "best_seconds", "ops_per_sec"}]
     }
 
 ``ops_per_sec`` is trace operations simulated (or spliced) per second of
-wall clock.  :func:`check_against_baseline` compares the per-kernel
-``ops_per_sec`` of a fresh report against a committed baseline file and
-reports regressions beyond a tolerance; the CI ``bench`` job fails on it.
+wall clock.  :func:`check_against_baseline` compares the per-kernel and
+per-geometry ``ops_per_sec`` of a fresh report against a committed
+baseline file and reports regressions beyond a tolerance; the CI ``bench``
+job fails on it.
 """
 
 from __future__ import annotations
@@ -43,7 +51,7 @@ import json
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Tuple
 
 from ..campaign import CampaignExecutor, Job, ResultCache
 from ..engine.simulator import simulate
@@ -51,7 +59,7 @@ from ..experiments.common import ExperimentSettings, make_config
 from ..workloads.registry import build_trace
 
 #: bump on any change to the report layout so stale baselines are rejected.
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
 
 #: configuration short-names covering the three controller kinds.
 KERNEL_CONFIGS = ("sc", "invisi_sc", "invisi_cont")
@@ -71,12 +79,14 @@ class BenchPreset:
     seed: int = 3
     repeats: int = 3
     engine: str = "fast"
+    #: machine sizes timed by the per-geometry section.
+    geometry_cores: Tuple[int, ...] = (4, 8, 16)
 
     @classmethod
     def small(cls, engine: str = "fast") -> "BenchPreset":
         """CI-sized preset: fast enough for a smoke job."""
         return cls(name="small", num_cores=2, ops_per_thread=400, repeats=2,
-                   engine=engine)
+                   engine=engine, geometry_cores=(2, 4))
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -87,6 +97,7 @@ class BenchPreset:
             "seed": self.seed,
             "repeats": self.repeats,
             "engine": self.engine,
+            "geometry_cores": list(self.geometry_cores),
         }
 
 
@@ -141,6 +152,32 @@ def _bench_campaign(preset: BenchPreset, settings: ExperimentSettings,
     }
 
 
+def _bench_geometries(preset: BenchPreset) -> List[Dict[str, Any]]:
+    """Time the ``sc`` kernel at each of the preset's machine sizes."""
+    geometries: List[Dict[str, Any]] = []
+    for num_cores in preset.geometry_cores:
+        settings = ExperimentSettings(
+            num_cores=num_cores, ops_per_thread=preset.ops_per_thread,
+            seeds=(preset.seed,), workloads=(preset.workload,),
+            warmup_fraction=0.0)
+        config = make_config("sc", settings)
+        trace = build_trace(preset.workload, num_threads=num_cores,
+                            ops_per_thread=preset.ops_per_thread,
+                            seed=preset.seed)
+        total_ops = trace.total_ops()
+        best, _ = _best_of(
+            preset.repeats, lambda: simulate(config, trace, engine=preset.engine))
+        geometries.append({
+            "num_cores": num_cores,
+            "mesh": f"{config.interconnect.mesh_width}x"
+                    f"{config.interconnect.mesh_height}",
+            "total_ops": total_ops,
+            "best_seconds": best,
+            "ops_per_sec": total_ops / best if best > 0 else 0.0,
+        })
+    return geometries
+
+
 def _bench_scenario(preset: BenchPreset) -> Dict[str, Any]:
     best, trace = _best_of(
         preset.repeats,
@@ -173,6 +210,7 @@ def run_bench(preset: BenchPreset, cache_dir: Path) -> Dict[str, Any]:
         "kernels": _bench_kernels(preset, settings),
         "campaign": _bench_campaign(preset, settings, cache_dir),
         "scenario": _bench_scenario(preset),
+        "geometries": _bench_geometries(preset),
     }
 
 
@@ -200,6 +238,11 @@ def format_bench_report(report: Dict[str, Any]) -> str:
         f"  scenario {scenario['name']}: splice "
         f"{scenario['ops_per_sec']:>12,.0f} ops/s "
         f"({scenario['best_seconds'] * 1000:.1f} ms)")
+    for geometry in report.get("geometries", ()):
+        lines.append(
+            f"  geometry {geometry['num_cores']:>3} cores "
+            f"({geometry['mesh']:>3} torus) {geometry['ops_per_sec']:>12,.0f} "
+            f"ops/s ({geometry['best_seconds'] * 1000:.1f} ms)")
     return "\n".join(lines)
 
 
@@ -220,7 +263,8 @@ def check_against_baseline(report: Dict[str, Any], baseline: Dict[str, Any],
     # Throughput numbers are only comparable at the same scale and engine.
     report_preset = report.get("preset", {})
     baseline_preset = baseline.get("preset", {})
-    for field in ("engine", "workload", "num_cores", "ops_per_thread", "seed"):
+    for field in ("engine", "workload", "num_cores", "ops_per_thread", "seed",
+                  "geometry_cores"):
         if report_preset.get(field) != baseline_preset.get(field):
             failures.append(
                 f"preset mismatch on {field!r}: report "
@@ -228,6 +272,16 @@ def check_against_baseline(report: Dict[str, Any], baseline: Dict[str, Any],
                 f"{baseline_preset.get(field)!r} (throughput not comparable)")
     if failures:
         return failures
+
+    def compare(section: str, fresh: Dict[str, Any], base: Dict[str, Any],
+                label: str) -> None:
+        floor = base["ops_per_sec"] * (1.0 - tolerance)
+        if fresh["ops_per_sec"] < floor:
+            failures.append(
+                f"{section} {label}: {fresh['ops_per_sec']:,.0f} ops/s is "
+                f"below {floor:,.0f} (baseline {base['ops_per_sec']:,.0f} "
+                f"- {tolerance:.0%} tolerance)")
+
     base_kernels = {k["config"]: k for k in baseline.get("kernels", [])}
     for kernel in report["kernels"]:
         name = kernel["config"]
@@ -235,12 +289,15 @@ def check_against_baseline(report: Dict[str, Any], baseline: Dict[str, Any],
         if base is None:
             failures.append(f"kernel {name}: missing from baseline")
             continue
-        floor = base["ops_per_sec"] * (1.0 - tolerance)
-        if kernel["ops_per_sec"] < floor:
-            failures.append(
-                f"kernel {name}: {kernel['ops_per_sec']:,.0f} ops/s is below "
-                f"{floor:,.0f} (baseline {base['ops_per_sec']:,.0f} "
-                f"- {tolerance:.0%} tolerance)")
+        compare("kernel", kernel, base, name)
+    base_geometries = {g["num_cores"]: g for g in baseline.get("geometries", [])}
+    for geometry in report.get("geometries", []):
+        cores = geometry["num_cores"]
+        base = base_geometries.get(cores)
+        if base is None:
+            failures.append(f"geometry {cores} cores: missing from baseline")
+            continue
+        compare("geometry", geometry, base, f"{cores} cores")
     return failures
 
 

@@ -83,24 +83,31 @@ class CampaignExecutor:
         self.cache = cache
         self.registry = registry if registry is not None else DEFAULT_REGISTRY
         self.last_report = CampaignReport()
-        self._traces: Dict[Tuple[str, int], MultiThreadedTrace] = {}
+        self._traces: Dict[Tuple[str, int, int], MultiThreadedTrace] = {}
 
     # -- building blocks ----------------------------------------------------
 
     def config_for(self, job: Job) -> SystemConfig:
         return self.registry.make(job.config_name, self.settings)
 
-    def trace_for(self, workload: str, seed: int) -> MultiThreadedTrace:
+    def trace_for(self, workload: str, seed: int,
+                  num_threads: Optional[int] = None) -> MultiThreadedTrace:
         """Build (or reuse) the trace for one (workload, seed) cell.
 
+        ``num_threads`` defaults to the settings' core count; a registered
+        configuration that overrides ``num_cores`` (a geometry variant)
+        gets its own memo entry, so the serial path builds exactly the
+        trace a pool worker would rebuild from the shipped config.
         Memoized for the executor's lifetime: the in-process serial path
         shares one trace across every configuration that replays it, as do
         repeated campaigns through the same executor.
         """
-        key = (workload, seed)
+        if num_threads is None:
+            num_threads = self.settings.num_cores
+        key = (workload, seed, num_threads)
         if key not in self._traces:
             self._traces[key] = build_trace(
-                workload, num_threads=self.settings.num_cores,
+                workload, num_threads=num_threads,
                 ops_per_thread=self.settings.ops_per_thread, seed=seed)
         return self._traces[key]
 
@@ -145,12 +152,14 @@ class CampaignExecutor:
                 with multiprocessing.Pool(processes=workers) as pool:
                     simulated = pool.map(_simulate_cell, payloads, chunksize=1)
             else:
-                simulated = [
-                    simulate(self.config_for(job),
-                             self.trace_for(job.workload, job.seed),
-                             warmup_fraction=self.settings.warmup_fraction)
-                    for job in missing
-                ]
+                simulated = []
+                for job in missing:
+                    config = self.config_for(job)
+                    trace = self.trace_for(job.workload, job.seed,
+                                           num_threads=config.num_cores)
+                    simulated.append(
+                        simulate(config, trace,
+                                 warmup_fraction=self.settings.warmup_fraction))
             for job, result in zip(missing, simulated):
                 results[job] = result
                 if self.cache is not None:

@@ -12,9 +12,11 @@ Seven subcommands cover the common entry points without writing any code::
 
 ``simulate`` runs one workload (or scenario) under one named machine
 configuration and prints the runtime breakdown; ``figure`` regenerates one
-of the paper's evaluation figures (1, 8, 9, 10, 11, 12) or the
-``scenarios`` per-phase figure at the requested scale; ``tables`` prints
-the descriptive tables (Figures 2, 4, 5, 6, 7).
+of the paper's evaluation figures (1, 8, 9, 10, 11, 12), the ``scenarios``
+per-phase figure, or the ``scaling`` machine-scaling study (a
+core-count sweep from 4 to 64 cores -- ``--core-counts`` overrides,
+``--small`` is the CI smoke preset) at the requested scale; ``tables``
+prints the descriptive tables (Figures 2, 4, 5, 6, 7).
 
 ``workloads list`` and ``scenario list`` print the registered workload
 presets and phase-structured scenarios.  ``scenario run <name>`` executes
@@ -84,7 +86,11 @@ from .experiments import (
     run_figure10,
     run_figure11,
     run_figure12,
+    run_scaling,
     run_scenarios,
+    SCALING_CONFIGS,
+    SCALING_CORE_COUNTS,
+    SCALING_SCENARIOS,
 )
 from .experiments.figure1 import FIGURE1_CONFIGS
 from .experiments.figure8 import FIGURE8_CONFIGS
@@ -109,6 +115,9 @@ _FIGURES = {
     "11": run_figure11,
     "12": run_figure12,
     "scenarios": run_scenarios,
+    # handled by _cmd_figure_scaling (it sweeps core counts, so it does not
+    # fit the one-machine (settings, runner) driver signature).
+    "scaling": run_scaling,
 }
 
 #: Configurations each figure needs (figure 9 reuses figure 8's set; every
@@ -121,6 +130,7 @@ _FIGURE_CONFIGS = {
     "11": FIGURE11_CONFIGS,
     "12": FIGURE12_CONFIGS,
     "scenarios": SCENARIO_CONFIGS,
+    "scaling": SCALING_CONFIGS,
 }
 
 
@@ -148,13 +158,23 @@ def _build_parser() -> argparse.ArgumentParser:
 
     fig = sub.add_parser("figure", help="regenerate one of the paper's figures")
     fig.add_argument("number", choices=sorted(_FIGURES), help="figure number")
-    fig.add_argument("--cores", type=int, default=8)
-    fig.add_argument("--ops", type=int, default=4000)
+    fig.add_argument("--cores", type=int, default=None,
+                     help="cores per simulated machine (default: 8; the "
+                          "scaling figure uses --core-counts instead)")
+    fig.add_argument("--ops", type=int, default=None,
+                     help="operations per thread (default: 4000)")
     fig.add_argument("--seeds", type=_seeds_csv, default=(1,),
                      help="comma-separated generator seeds")
     fig.add_argument("--workloads", type=str, default=None,
                      help="comma-separated workload names (default: all "
-                          "presets; for the scenarios figure, all scenarios)")
+                          "presets; for the scenarios figure, all scenarios; "
+                          "for the scaling figure, its default scenarios)")
+    fig.add_argument("--core-counts", type=_seeds_csv, default=None,
+                     help="scaling figure only: comma-separated machine "
+                          "sizes to sweep (default: 4,8,16,32,64)")
+    fig.add_argument("--small", action="store_true",
+                     help="scaling figure only: CI smoke preset, 2 and 4 "
+                          "cores at 400 ops (explicit flags override)")
     _add_campaign_flags(fig)
 
     sweep = sub.add_parser(
@@ -344,13 +364,17 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
+    if args.number == "scaling":
+        return _cmd_figure_scaling(args)
     if args.workloads:
         workloads = _split(args.workloads)
     elif args.number == "scenarios":
         workloads = tuple(scenario_names())
     else:
         workloads = tuple(workload_names())
-    settings = ExperimentSettings(num_cores=args.cores, ops_per_thread=args.ops,
+    ops = args.ops if args.ops is not None else 4000
+    cores = args.cores if args.cores is not None else 8
+    settings = ExperimentSettings(num_cores=cores, ops_per_thread=ops,
                                   seeds=args.seeds, workloads=workloads)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     runner = ExperimentRunner(settings, jobs=args.jobs, cache=cache)
@@ -359,6 +383,31 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     print(result.format())
     print(f"[campaign] {runner.executor.last_report.describe(cache)}, "
           f"--jobs {args.jobs}")
+    return 0
+
+
+def _cmd_figure_scaling(args: argparse.Namespace) -> int:
+    """The machine-scaling study sweeps core counts, not a single machine."""
+    if args.cores is not None:
+        raise ReproError(
+            "the scaling figure sweeps machine sizes; use --core-counts "
+            "(e.g. --core-counts 4,16,64) instead of --cores")
+    if args.core_counts is not None:
+        core_counts = args.core_counts
+    else:
+        core_counts = (2, 4) if args.small else SCALING_CORE_COUNTS
+    ops = args.ops if args.ops is not None else (400 if args.small else 4000)
+    scenarios = (_split(args.workloads) if args.workloads
+                 else (("false-sharing-storm",) if args.small
+                       else SCALING_SCENARIOS))
+    settings = ExperimentSettings(num_cores=max(core_counts),
+                                  ops_per_thread=ops, seeds=args.seeds,
+                                  workloads=scenarios)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    result = run_scaling(settings, core_counts=core_counts,
+                         scenarios=scenarios, jobs=args.jobs, cache=cache)
+    print(result.format())
+    print(f"[campaign] {result.report.describe(cache)}, --jobs {args.jobs}")
     return 0
 
 

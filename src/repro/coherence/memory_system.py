@@ -65,7 +65,7 @@ class MemorySystem:
         self._topology = TorusTopology(config.interconnect)
         self._latency = LatencyModel(config, self._topology)
         self._l1s: List[CacheArray] = [CacheArray(config.l1) for _ in range(config.num_cores)]
-        self._l2 = L2Cache(config.l2)
+        self._l2 = L2Cache(config.l2, banks=config.l2_banks)
         self._directory = Directory(config.block_bytes)
         self._listeners: Dict[int, ExternalConflictListener] = {}
         self._record = record_transactions
@@ -102,6 +102,11 @@ class MemorySystem:
     @property
     def latency_model(self) -> LatencyModel:
         return self._latency
+
+    @property
+    def contention_cycles(self) -> int:
+        """Cycles messages spent queued behind busy links (0 when uncontended)."""
+        return self._latency.contention_cycles
 
     @property
     def l2(self) -> L2Cache:
@@ -237,9 +242,10 @@ class MemorySystem:
         entry = self._directory.entry(baddr)
         is_write = kind in (TransactionKind.GETM, TransactionKind.UPGRADE)
 
-        # The request travels to the home node and is serialised behind any
-        # in-flight transaction for the same block.
-        arrive_home = now + self._latency.request_to_home(core_id, home)
+        # The request travels to the home node (queuing behind other
+        # messages under the contended interconnect) and is serialised
+        # behind any in-flight transaction for the same block.
+        arrive_home = self._latency.traverse(core_id, home, now)
         start = max(arrive_home, entry.busy_until)
 
         # Clean up stale directory information about the requester itself
@@ -264,8 +270,8 @@ class MemorySystem:
                                                     is_write, record)
         else:
             l2_hit = self._l2.probe(baddr)
-            completion = start + self._latency.directory_access(l2_hit)
-            completion += self._latency.data_response(home, core_id)
+            completion = self._latency.traverse(
+                home, core_id, start + self._latency.directory_access(l2_hit))
             if not l2_hit:
                 self._l2.install(baddr)
         if record is not None:
@@ -323,8 +329,13 @@ class MemorySystem:
         assert owner is not None and owner != core_id
         if record is not None:
             record.forwarded_from_owner = owner
-        completion = start + self._config.directory_latency
-        completion += self._latency.owner_forward(home, owner, core_id)
+        # The probe leg home -> owner is one physical message; its arrival
+        # anchors both conflict detection and the forwarded data response.
+        probe_arrival = self._latency.traverse(home, owner, start)
+        completion = self._latency.traverse(
+            owner, core_id,
+            probe_arrival + self._config.directory_latency
+            + self._config.l1.hit_latency)
 
         owner_l1 = self._l1s[owner]
         owner_block = owner_l1.lookup(baddr, touch=False)
@@ -333,8 +344,8 @@ class MemorySystem:
             conflicts = (owner_block.conflicts_with_external_write() if is_write
                          else owner_block.conflicts_with_external_read())
             if conflicts:
-                arrival = start + self._latency.network(home, owner)
-                conflict_delay = self._resolve_conflict(owner, baddr, is_write, arrival)
+                conflict_delay = self._resolve_conflict(owner, baddr, is_write,
+                                                        probe_arrival)
                 if record is not None:
                     record.conflicts.append(owner)
                     record.deferred_cycles = max(record.deferred_cycles,
@@ -365,8 +376,8 @@ class MemorySystem:
                 continue
             if record is not None:
                 record.invalidated_sharers.append(sharer)
-            arrival = start + self._latency.network(home, sharer)
-            ack = arrival + self._latency.network(sharer, core_id)
+            arrival = self._latency.traverse(home, sharer, start)
+            ack = self._latency.traverse(sharer, core_id, arrival)
             sharer_l1 = self._l1s[sharer]
             sharer_block = sharer_l1.lookup(baddr, touch=False)
             if sharer_block is not None:

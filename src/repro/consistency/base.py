@@ -29,7 +29,7 @@ from ..coherence.messages import AccessOutcome, ConflictResolution
 from ..config import SystemConfig
 from ..cpu.store_buffer import CoalescingStoreBuffer, StoreBufferBase, make_store_buffer
 from ..errors import SimulationError
-from ..trace.ops import MemOp, OpKind
+from ..trace.ops import MemOp
 from .rules import OrderingRules, rules_for
 
 if TYPE_CHECKING:  # pragma: no cover - typing only

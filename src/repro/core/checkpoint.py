@@ -11,7 +11,7 @@ index plays the role of the program counter and no register values exist.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 

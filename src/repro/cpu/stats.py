@@ -22,7 +22,7 @@ time is recorded as ``violation`` instead.  :meth:`CoreStats.snapshot` and
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict
 
 #: The four classes that are reassigned to ``violation`` on an abort.

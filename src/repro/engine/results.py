@@ -9,7 +9,7 @@ forms) is the wire format used by the campaign result cache.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..config import SystemConfig

@@ -22,6 +22,13 @@ from .figure9 import Figure9Result, run_figure9
 from .figure10 import Figure10Result, run_figure10
 from .figure11 import Figure11Result, run_figure11
 from .figure12 import Figure12Result, run_figure12
+from .scaling import (
+    SCALING_CONFIGS,
+    SCALING_CORE_COUNTS,
+    SCALING_SCENARIOS,
+    ScalingResult,
+    run_scaling,
+)
 from .scenarios import SCENARIO_CONFIGS, ScenarioFigureResult, run_scenarios
 from .tables import (
     figure2_table,
@@ -55,6 +62,11 @@ __all__ = [
     "SCENARIO_CONFIGS",
     "ScenarioFigureResult",
     "run_scenarios",
+    "SCALING_CONFIGS",
+    "SCALING_CORE_COUNTS",
+    "SCALING_SCENARIOS",
+    "ScalingResult",
+    "run_scaling",
     "figure2_table",
     "figure4_table",
     "figure5_table",

@@ -1,0 +1,164 @@
+"""The machine-scaling study: throughput and stalls across core counts.
+
+The paper evaluates a fixed 4x4-torus 16-core machine, but its central
+claim -- that speculation keeps ordering enforcement performance-neutral
+where store-buffer designs degrade -- is a *scaling* claim.  This driver
+sweeps machine geometry as a first-class axis: every (core count, machine
+configuration, scenario) cell runs through the campaign executor (so cells
+are cached, deduplicated, and parallelisable like any other campaign), and
+the result is summarised as
+
+* **normalized-throughput scaling curves** -- aggregate instructions per
+  kilocycle at each core count, normalized to the same configuration's
+  throughput at the smallest swept count (perfect per-core scaling holds
+  the curve at 1.0; contention and ordering stalls drag it down), and
+* a **per-config stall-attribution table** -- the Figure-9 stall taxonomy
+  as a percentage of accounted cycles at every swept geometry, which shows
+  *why* a configuration stops scaling (``sb_drain`` for conventional SC,
+  ``violation`` for the speculative variants).
+
+Core counts map to tori via :func:`repro.config.torus_geometry`
+(4 -> 2x2 ... 64 -> 8x8); the interconnect stays contention-free by
+default so cells remain comparable with every other figure's, and the
+opt-in queued model (``InterconnectConfig.contention="queued"``) can be
+layered on through a registered configuration variant.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..campaign.cache import ResultCache
+from ..campaign.executor import CampaignExecutor, CampaignReport
+from ..campaign.jobs import expand_jobs
+from ..cpu.stats import BREAKDOWN_COMPONENTS
+from ..engine.results import RunResult
+from ..stats.report import format_breakdown_table, format_table
+from .common import ExperimentSettings
+
+#: Core counts swept by the full study (2x2 ... 8x8 tori).
+SCALING_CORE_COUNTS = (4, 8, 16, 32, 64)
+
+#: One configuration per controller kind: conventional, InvisiFence-
+#: Selective, and InvisiFence-Continuous.
+SCALING_CONFIGS = ("sc", "invisi_sc", "invisi_cont")
+
+#: Scenarios exercised at every geometry: contended sharing (block
+#: ping-pong) and mostly-private work with sporadic remote atomics.
+SCALING_SCENARIOS = ("false-sharing-storm", "task-pool")
+
+
+@dataclass
+class ScalingResult:
+    """Throughput curves and stall attribution for the scaling sweep."""
+
+    settings: ExperimentSettings
+    core_counts: Tuple[int, ...] = SCALING_CORE_COUNTS
+    configs: Tuple[str, ...] = SCALING_CONFIGS
+    scenarios: Tuple[str, ...] = SCALING_SCENARIOS
+    #: {scenario: {config: {cores: instructions per kilocycle}}}
+    throughput: Dict[str, Dict[str, Dict[int, float]]] = field(default_factory=dict)
+    #: {"scenario @ NxM (C cores)": {config: {component: % of cycles}}}
+    breakdowns: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+    #: what the underlying campaigns did, summed over all core counts.
+    report: CampaignReport = field(default_factory=CampaignReport)
+
+    def normalized(self, scenario: str, config: str) -> Dict[int, float]:
+        """Throughput at each core count relative to the smallest count."""
+        curve = self.throughput[scenario][config]
+        base = curve[min(curve)]
+        if base <= 0:
+            return {cores: 0.0 for cores in curve}
+        return {cores: value / base for cores, value in curve.items()}
+
+    def format(self) -> str:
+        sections: List[str] = []
+        for scenario in self.scenarios:
+            headers = ["cores"] + [f"{config} (norm)" for config in self.configs]
+            rows: List[List[str]] = []
+            for cores in self.core_counts:
+                row = [str(cores)]
+                for config in self.configs:
+                    absolute = self.throughput[scenario][config][cores]
+                    relative = self.normalized(scenario, config)[cores]
+                    row.append(f"{relative:.2f} ({absolute:.1f} i/kc)")
+                rows.append(row)
+            sections.append(format_table(
+                headers, rows,
+                title=f"Scaling: {scenario} -- throughput normalized to "
+                      f"{min(self.core_counts)} cores (insns/kilocycle)"))
+        sections.append(format_breakdown_table(
+            self.breakdowns, BREAKDOWN_COMPONENTS,
+            title="Scaling: stall attribution, % of accounted cycles per "
+                  "geometry"))
+        return "\n\n".join(sections)
+
+
+def _throughput(runs: Sequence[RunResult]) -> float:
+    """Mean aggregate instructions per kilocycle over seed repetitions."""
+    values = []
+    for run in runs:
+        if run.runtime > 0:
+            values.append(1000.0 * run.aggregate().instructions / run.runtime)
+    return sum(values) / len(values) if values else 0.0
+
+
+def _mean_breakdown(runs: Sequence[RunResult]) -> Dict[str, float]:
+    """Mean normalized stall breakdown (percent) over seed repetitions."""
+    combined = {name: 0.0 for name in BREAKDOWN_COMPONENTS}
+    for run in runs:
+        for name, value in run.breakdown(normalize=True).items():
+            combined[name] += 100.0 * value / len(runs)
+    return combined
+
+
+def run_scaling(settings: Optional[ExperimentSettings] = None,
+                core_counts: Sequence[int] = SCALING_CORE_COUNTS,
+                configs: Sequence[str] = SCALING_CONFIGS,
+                scenarios: Sequence[str] = SCALING_SCENARIOS,
+                jobs: int = 1,
+                cache: Optional[ResultCache] = None) -> ScalingResult:
+    """Run the scaling sweep: (core count x config x scenario x seed).
+
+    ``settings`` supplies trace length, seeds, and the warmup fraction;
+    its ``num_cores`` is overridden per swept count.  Each core count runs
+    as one campaign (``jobs`` worker processes fan out its missing cells)
+    against the shared result cache, so serial and parallel sweeps produce
+    byte-identical tables and cache entries.
+    """
+    settings = settings or ExperimentSettings()
+    core_counts = tuple(sorted(core_counts))
+    result = ScalingResult(settings=settings, core_counts=core_counts,
+                           configs=tuple(configs), scenarios=tuple(scenarios))
+    for scenario in result.scenarios:
+        result.throughput[scenario] = {config: {} for config in result.configs}
+
+    for cores in core_counts:
+        scaled = dataclasses.replace(settings, num_cores=cores)
+        executor = CampaignExecutor(scaled, jobs=jobs, cache=cache)
+        cells = expand_jobs(result.configs, result.scenarios, settings.seeds)
+        runs = executor.run(cells)
+        by_cell: Dict[Tuple[str, str], List[RunResult]] = {}
+        for job, run in zip(cells, runs):
+            by_cell.setdefault((job.config_name, job.workload), []).append(run)
+
+        geometry = None
+        for config in result.configs:
+            for scenario in result.scenarios:
+                cell_runs = by_cell[(config, scenario)]
+                if geometry is None:
+                    net = cell_runs[0].config.interconnect
+                    geometry = f"{net.mesh_width}x{net.mesh_height}"
+                result.throughput[scenario][config][cores] = _throughput(cell_runs)
+                label = f"{scenario} @ {geometry} ({cores}c)"
+                result.breakdowns.setdefault(label, {})[config] = \
+                    _mean_breakdown(cell_runs)
+
+        tally = executor.last_report
+        result.report.total += tally.total
+        result.report.simulated += tally.simulated
+        result.report.cache_hits += tally.cache_hits
+        result.report.deduplicated += tally.deduplicated
+    return result

@@ -1,17 +1,23 @@
 """2-D torus topology.
 
-The paper's system is a 4x4 2-D torus with 25 ns per-hop latency.  This
-module provides node placement and minimal-hop distance computations; the
-latency model in :mod:`repro.interconnect.latency` converts hop counts into
-cycles.
+The paper's system is a 4x4 2-D torus with 25 ns per-hop latency; the
+machine-scaling experiments lay out anything from a 1xN ring up to an 8x8
+torus (see :func:`repro.config.torus_geometry`).  This module provides
+node placement, minimal-hop distance computations, and dimension-order
+routes; the latency model in :mod:`repro.interconnect.latency` converts
+hop counts into cycles and, under the queued contention model, charges
+each directed link on the route.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 from ..config import InterconnectConfig
 from ..errors import ConfigurationError
+
+#: Directed-link direction indices used by :meth:`TorusTopology.route`.
+_POS_X, _NEG_X, _POS_Y, _NEG_Y = range(4)
 
 
 class TorusTopology:
@@ -22,6 +28,7 @@ class TorusTopology:
         self._width = config.mesh_width
         self._height = config.mesh_height
         self._distance_cache: Dict[Tuple[int, int], int] = {}
+        self._route_cache: Dict[Tuple[int, int], Tuple[int, ...]] = {}
 
     @property
     def config(self) -> InterconnectConfig:
@@ -58,6 +65,42 @@ class TorusTopology:
         self._distance_cache[key] = total
         self._distance_cache[(dst, src)] = total
         return total
+
+    def route(self, src: int, dst: int) -> Tuple[int, ...]:
+        """Directed links of the dimension-order (X then Y) route src -> dst.
+
+        Each link is encoded as ``node * 4 + direction`` for the node the
+        message *leaves* through that direction; wrap-around picks the
+        shorter way around each ring and breaks exact ties toward the
+        positive direction, so routes are deterministic.  The route has
+        exactly :meth:`hops` entries (empty when ``src == dst``).
+        """
+        key = (src, dst)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
+        x, y = self.coordinates(src)
+        dx, dy = self.coordinates(dst)
+        links: List[int] = []
+        width, height = self._width, self._height
+
+        forward = (dx - x) % width
+        step, direction = ((1, _POS_X) if forward <= width - forward
+                           else (-1, _NEG_X))
+        while x != dx:
+            links.append(self.node_at(x, y) * 4 + direction)
+            x = (x + step) % width
+
+        forward = (dy - y) % height
+        step, direction = ((1, _POS_Y) if forward <= height - forward
+                           else (-1, _NEG_Y))
+        while y != dy:
+            links.append(self.node_at(x, y) * 4 + direction)
+            y = (y + step) % height
+
+        route = tuple(links)
+        self._route_cache[key] = route
+        return route
 
     def home_node(self, block_addr: int, block_bytes: int) -> int:
         """Address-interleaved home (directory) node for a block."""

@@ -13,9 +13,8 @@ the two presentations the paper uses:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping
+from typing import Dict, List, Mapping
 
-from ..cpu.stats import BREAKDOWN_COMPONENTS
 from ..engine.results import RunResult
 
 #: Plot order used by the paper's stacked bars (bottom to top).

@@ -7,7 +7,7 @@ series.  These formatting helpers keep that output consistent.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Iterable, List, Mapping, Optional, Sequence
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],

@@ -21,7 +21,7 @@ depends on:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from ..errors import WorkloadError

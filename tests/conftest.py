@@ -8,7 +8,7 @@ deterministic.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Optional, Sequence
 
 import pytest
 

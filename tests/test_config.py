@@ -14,9 +14,12 @@ from repro.config import (
     StoreBufferKind,
     SystemConfig,
     ViolationPolicy,
+    default_l2_banks,
     default_store_buffer,
     paper_config,
+    resolved_interconnect,
     small_config,
+    torus_geometry,
 )
 from repro.errors import ConfigurationError
 
@@ -67,6 +70,81 @@ class TestInterconnectConfig:
     def test_rejects_zero_dimension(self):
         with pytest.raises(ConfigurationError):
             InterconnectConfig(mesh_width=0, mesh_height=4, hop_latency=1)
+
+    def test_contention_defaults_off(self):
+        net = InterconnectConfig(mesh_width=4, mesh_height=4, hop_latency=100)
+        assert net.contention == "none"
+        assert net.link_bandwidth == 1
+
+    def test_rejects_unknown_contention_mode(self):
+        with pytest.raises(ConfigurationError):
+            InterconnectConfig(mesh_width=2, mesh_height=2, hop_latency=10,
+                               contention="infinite")
+
+    def test_rejects_zero_link_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            InterconnectConfig(mesh_width=2, mesh_height=2, hop_latency=10,
+                               link_bandwidth=0)
+
+    def test_link_occupancy_scales_with_bandwidth(self):
+        slow = InterconnectConfig(mesh_width=2, mesh_height=2, hop_latency=20,
+                                  contention="queued")
+        fast = InterconnectConfig(mesh_width=2, mesh_height=2, hop_latency=20,
+                                  contention="queued", link_bandwidth=4)
+        assert slow.link_occupancy == 20
+        assert fast.link_occupancy == 5
+        # Occupancy never collapses to zero, however wide the link.
+        wide = InterconnectConfig(mesh_width=2, mesh_height=2, hop_latency=1,
+                                  contention="queued", link_bandwidth=8)
+        assert wide.link_occupancy == 1
+
+
+class TestTorusGeometryResolver:
+    @pytest.mark.parametrize("cores,expected", [
+        (1, (1, 1)), (2, (1, 2)), (4, (2, 2)), (6, (2, 3)), (8, (2, 4)),
+        (12, (3, 4)), (16, (4, 4)), (32, (4, 8)), (48, (6, 8)), (64, (8, 8)),
+    ])
+    def test_most_square_factorisation(self, cores, expected):
+        assert torus_geometry(cores) == expected
+
+    def test_prime_counts_resolve_to_rings(self):
+        assert torus_geometry(7) == (1, 7)
+        assert torus_geometry(17) == (1, 17)
+
+    def test_every_count_covers_exactly_its_cores(self):
+        for cores in range(1, 65):
+            width, height = torus_geometry(cores)
+            assert width * height == cores
+            assert width <= height
+
+    def test_rejects_non_positive_and_oversized(self):
+        with pytest.raises(ConfigurationError):
+            torus_geometry(0)
+        with pytest.raises(ConfigurationError):
+            torus_geometry(65)
+
+    def test_resolved_interconnect_carries_knobs(self):
+        net = resolved_interconnect(8, hop_latency=40, contention="queued",
+                                    link_bandwidth=2)
+        assert (net.mesh_width, net.mesh_height) == (2, 4)
+        assert net.contention == "queued"
+        assert net.link_occupancy == 20
+
+    def test_default_l2_banks(self):
+        assert default_l2_banks(4) == 1
+        assert default_l2_banks(16) == 1
+        assert default_l2_banks(32) == 2
+        # Rounded down to a power of two: 3 banks cannot split a
+        # power-of-two set count.
+        assert default_l2_banks(48) == 2
+        assert default_l2_banks(64) == 4
+
+    def test_every_resolvable_core_count_builds_a_config(self):
+        for cores in range(1, 65):
+            config = paper_config(num_cores=cores)
+            assert config.interconnect.num_nodes == cores
+            small = small_config(num_cores=cores)
+            assert small.l2.num_sets % small.l2_banks == 0
 
 
 class TestSpeculationConfig:
@@ -150,9 +228,30 @@ class TestSystemConfig:
         assert config.store_buffer is not None
         assert config.store_buffer.kind is StoreBufferKind.COALESCING_BLOCK
 
+    def test_geometry_resolves_from_core_count(self):
+        # 17 cores used to be rejected against the fixed 4x4 torus; the
+        # resolver now lays out a 1x17 ring for it and an 8x8 at 64 cores.
+        assert paper_config(num_cores=17).interconnect.num_nodes == 17
+        big = paper_config(num_cores=64)
+        assert (big.interconnect.mesh_width, big.interconnect.mesh_height) == (8, 8)
+        assert big.l2_banks == 4
+        with pytest.raises(ConfigurationError):
+            paper_config(num_cores=65)
+
     def test_rejects_more_cores_than_nodes(self):
         with pytest.raises(ConfigurationError):
-            paper_config(num_cores=17)
+            SystemConfig(num_cores=17)  # default interconnect is the 4x4 torus
+
+    def test_explicit_interconnect_override(self):
+        net = resolved_interconnect(16, contention="queued", link_bandwidth=2)
+        config = paper_config(num_cores=16, interconnect=net)
+        assert config.interconnect.contention == "queued"
+
+    def test_rejects_unsplittable_l2_banking(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(num_cores=2, l2_banks=3)
+        with pytest.raises(ConfigurationError):
+            SystemConfig(num_cores=2, l2_banks=0)
 
     def test_rejects_mismatched_block_sizes(self):
         with pytest.raises(ConfigurationError):

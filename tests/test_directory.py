@@ -90,3 +90,123 @@ class TestL2Cache:
         for i in range(12):
             l2.install_dirty(i * 64)
         assert l2.writebacks > 0
+
+
+class TestBankedL2:
+    def _banked(self, blocks: int = 16, banks: int = 4) -> L2Cache:
+        return L2Cache(CacheConfig(size_bytes=blocks * 64, associativity=1,
+                                   block_bytes=64, hit_latency=10),
+                       banks=banks)
+
+    def test_single_bank_matches_monolithic(self):
+        mono = L2Cache(CacheConfig(size_bytes=8 * 64, associativity=4,
+                                   block_bytes=64, hit_latency=10))
+        assert mono.num_banks == 1
+        banked = self._banked(blocks=8, banks=1)
+        for i in range(32):
+            mono.install(i * 64)
+            banked.install(i * 64)
+        assert len(mono) <= 8 and len(banked) <= 8
+
+    def test_blocks_interleave_across_banks(self):
+        l2 = self._banked(blocks=16, banks=4)
+        for i in range(4):
+            assert l2.bank_of(i * 64) == i
+        assert l2.bank_of(4 * 64) == 0
+
+    def test_bank_capacity_is_partitioned(self):
+        # 16 direct-mapped blocks over 4 banks: 4 blocks per bank.  Fill
+        # one bank's worth of conflicting addresses; other banks untouched.
+        l2 = self._banked(blocks=16, banks=4)
+        for i in range(12):
+            l2.install(i * 4 * 64)  # all map to bank 0
+        assert len(l2) <= 4
+        l2.install(64)  # bank 1
+        assert l2.contains(64)
+
+    def test_total_capacity_respected(self):
+        l2 = self._banked(blocks=16, banks=4)
+        for i in range(128):
+            l2.install(i * 64)
+        assert len(l2) <= 16
+
+    def test_every_bank_set_is_reachable(self):
+        # Regression: banking must divide the interleave stride out of the
+        # set index, or each bank only ever reaches 1/banks of its sets.
+        l2 = self._banked(blocks=16, banks=4)
+        for i in range(4):  # blocks 0, 4, 8, 12 all interleave to bank 0
+            l2.install(i * 4 * 64)
+        for i in range(4):
+            assert l2.contains(i * 4 * 64)
+
+    def test_full_nominal_capacity_is_usable(self):
+        l2 = self._banked(blocks=16, banks=4)
+        for i in range(16):
+            l2.install(i * 64)
+        assert len(l2) == 16
+        for i in range(16):
+            assert l2.contains(i * 64)
+
+
+class Test64CoreDirectory:
+    """Directory sharer-set and flash-op behaviour at the 8x8 machine."""
+
+    def _system(self):
+        from repro.coherence.memory_system import MemorySystem
+        from repro.config import small_config
+
+        config = small_config(num_cores=64)
+        assert config.interconnect.num_nodes == 64
+        assert config.l2_banks == 4
+        return MemorySystem(config), config
+
+    def test_all_64_cores_share_one_block(self):
+        memory, config = self._system()
+        for core in range(64):
+            memory.access(core, 0x1000, is_write=False, now=core * 1000)
+        entry = memory.directory.peek(0x1000)
+        assert entry is not None
+        assert entry.holders() == set(range(64))
+        memory.check_invariants()
+
+    def test_write_invalidates_63_sharers(self):
+        memory, config = self._system()
+        for core in range(64):
+            memory.access(core, 0x1000, is_write=False, now=core * 1000)
+        memory.access(7, 0x1000, is_write=True, now=200_000)
+        entry = memory.directory.peek(0x1000)
+        assert entry.owner == 7
+        assert entry.sharers == set()
+        for core in range(64):
+            if core != 7:
+                assert not memory.contains(core, 0x1000)
+        memory.check_invariants()
+
+    def test_invalidation_latency_grows_with_sharer_distance(self):
+        memory, config = self._system()
+        model = memory.latency_model
+        near = model.invalidation_round(home=0, sharers=[1], requester=0)
+        far = model.invalidation_round(home=0, sharers=list(range(1, 64)),
+                                       requester=0)
+        assert far > near
+
+    def test_flash_ops_scale_to_64_cores(self):
+        memory, config = self._system()
+        # Every core writes its own private block speculatively, and reads
+        # one widely shared block speculatively.
+        for core in range(64):
+            memory.access(core, 0x100000 + core * 64, is_write=True,
+                          now=core * 1000, spec_checkpoint=1)
+            memory.access(core, 0x2000, is_write=False,
+                          now=core * 1000 + 500, spec_checkpoint=1)
+        # Abort half the machine: speculatively written blocks invalidate.
+        for core in range(0, 64, 2):
+            dropped = memory.l1(core).flash_invalidate_spec_written()
+            assert dropped == [0x100000 + core * 64]
+            assert not memory.contains(core, 0x100000 + core * 64)
+        # Commit the other half: spec bits clear, blocks stay resident.
+        for core in range(1, 64, 2):
+            cleared = memory.l1(core).flash_clear_spec_bits()
+            assert cleared >= 1
+            assert memory.contains(core, 0x100000 + core * 64)
+        memory.check_invariants()

@@ -8,12 +8,7 @@ relationships the paper's evaluation rests on, plus global invariants
 
 import pytest
 
-from repro.config import (
-    ConsistencyModel,
-    SpeculationConfig,
-    SpeculationMode,
-    ViolationPolicy,
-)
+from repro.config import ConsistencyModel, ViolationPolicy
 from repro.engine.simulator import simulate
 from repro.engine.system import build_system
 from repro.engine.simulator import Simulator

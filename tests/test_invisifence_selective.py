@@ -6,7 +6,7 @@ progress rule, forced commits on speculative evictions, and the
 two-checkpoint variant.
 """
 
-from repro.config import ConsistencyModel, ViolationPolicy
+from repro.config import ConsistencyModel
 from repro.trace.ops import atomic, compute, fence, load, store
 from tests.conftest import block_addr, make_system, run_ops, run_system, selective_config
 

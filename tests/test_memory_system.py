@@ -5,7 +5,6 @@ import pytest
 from tests.conftest import tiny_config
 from repro.coherence.memory_system import MemorySystem
 from repro.coherence.messages import ConflictResolution
-from repro.config import CacheConfig, ConsistencyModel
 from repro.errors import SimulationError
 from repro.memory.block import CoherenceState
 

@@ -10,7 +10,6 @@ from repro.engine.simulator import simulate
 from repro.memory.address import block_address, block_offset, same_block, word_address
 from repro.memory.block import CoherenceState
 from repro.memory.cache import CacheArray
-from repro.trace.ops import OpKind
 from repro.workloads.generator import generate_workload
 from repro.workloads.spec import WorkloadSpec
 from tests.conftest import make_trace, tiny_config

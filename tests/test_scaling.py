@@ -1,0 +1,167 @@
+"""Tests for the machine-scaling study (experiments/scaling.py + CLI)."""
+
+import pytest
+
+from repro.campaign import DEFAULT_REGISTRY, Job, ResultCache, derived
+from repro.campaign.executor import CampaignExecutor
+from repro.cli import main
+from repro.config import resolved_interconnect, small_config
+from repro.cpu.stats import BREAKDOWN_COMPONENTS
+from repro.engine.simulator import Simulator
+from repro.engine.system import build_system
+from repro.experiments import ExperimentSettings, run_scaling
+from repro.workloads.registry import build_trace
+
+CORE_COUNTS = (2, 4)
+CONFIGS = ("sc", "invisi_sc")
+SCENARIOS = ("false-sharing-storm",)
+
+
+def tiny_settings(ops: int = 240) -> ExperimentSettings:
+    return ExperimentSettings(num_cores=max(CORE_COUNTS), ops_per_thread=ops,
+                              seeds=(1,), workloads=SCENARIOS)
+
+
+def run_tiny(jobs: int = 1, cache=None):
+    return run_scaling(tiny_settings(), core_counts=CORE_COUNTS,
+                       configs=CONFIGS, scenarios=SCENARIOS,
+                       jobs=jobs, cache=cache)
+
+
+class TestRunScaling:
+    def test_covers_every_cell(self):
+        result = run_tiny()
+        for scenario in SCENARIOS:
+            for config in CONFIGS:
+                curve = result.throughput[scenario][config]
+                assert set(curve) == set(CORE_COUNTS)
+                assert all(value > 0 for value in curve.values())
+        assert result.report.simulated == len(CORE_COUNTS) * len(CONFIGS)
+
+    def test_normalization_anchors_at_smallest_count(self):
+        result = run_tiny()
+        for scenario in SCENARIOS:
+            for config in CONFIGS:
+                curve = result.normalized(scenario, config)
+                assert curve[min(CORE_COUNTS)] == pytest.approx(1.0)
+
+    def test_breakdowns_are_percentages_per_geometry(self):
+        result = run_tiny()
+        assert len(result.breakdowns) == len(CORE_COUNTS) * len(SCENARIOS)
+        for label, per_config in result.breakdowns.items():
+            assert "@" in label
+            for config in CONFIGS:
+                values = per_config[config]
+                assert set(values) == set(BREAKDOWN_COMPONENTS)
+                assert sum(values.values()) == pytest.approx(100.0)
+
+    def test_format_mentions_geometries_and_configs(self):
+        text = run_tiny().format()
+        assert "stall attribution" in text
+        assert "1x2" in text and "2x2" in text
+        for config in CONFIGS:
+            assert config in text
+
+    def test_serial_and_parallel_byte_identical(self, tmp_path):
+        serial_cache = ResultCache(tmp_path / "serial")
+        parallel_cache = ResultCache(tmp_path / "parallel")
+        serial = run_tiny(jobs=1, cache=serial_cache)
+        parallel = run_tiny(jobs=2, cache=parallel_cache)
+        assert serial.format() == parallel.format()
+        serial_entries = sorted(p.name for p in serial_cache.root.glob("*.json"))
+        parallel_entries = sorted(p.name for p in parallel_cache.root.glob("*.json"))
+        assert serial_entries == parallel_entries and serial_entries
+        for name in serial_entries:
+            assert ((serial_cache.root / name).read_bytes()
+                    == (parallel_cache.root / name).read_bytes())
+
+    def test_cached_rerun_simulates_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_tiny(cache=cache)
+        warm = run_tiny(cache=cache)
+        assert cold.report.simulated == 4
+        assert warm.report.simulated == 0
+        assert warm.report.cache_hits == 4
+        assert cold.format() == warm.format()
+
+
+class TestGeometryVariantCampaigns:
+    def test_core_count_override_matches_serial_and_parallel(self, tmp_path):
+        """A registered geometry variant simulates at its own core count."""
+        name = "sc@4-test"
+        DEFAULT_REGISTRY.register(
+            name, derived("sc", num_cores=4,
+                          interconnect=resolved_interconnect(4)))
+        try:
+            settings = ExperimentSettings(num_cores=2, ops_per_thread=200,
+                                          seeds=(1,))
+            jobs = [Job(name, "apache", 1)]
+            serial = CampaignExecutor(settings, jobs=1).run(jobs)[0]
+            parallel = CampaignExecutor(settings, jobs=2).run(jobs)[0]
+            assert serial.config.num_cores == 4
+            assert len(serial.core_stats) == 4
+            assert serial.to_json() == parallel.to_json()
+        finally:
+            DEFAULT_REGISTRY.unregister(name)
+
+
+class TestContentionEndToEnd:
+    def test_queued_interconnect_slows_contended_sharing(self):
+        trace = build_trace("false-sharing-storm", num_threads=4,
+                            ops_per_thread=300, seed=5)
+        runtimes = {}
+        for mode in ("none", "queued"):
+            config = small_config(
+                num_cores=4,
+                interconnect=resolved_interconnect(4, hop_latency=20,
+                                                   contention=mode))
+            system = build_system(config, trace)
+            result = Simulator(system).run(seed=5)
+            runtimes[mode] = result.runtime
+            if mode == "none":
+                assert system.memory.contention_cycles == 0
+            else:
+                assert system.memory.contention_cycles > 0
+        assert runtimes["queued"] > runtimes["none"]
+
+    def test_queued_runs_are_deterministic(self):
+        trace = build_trace("false-sharing-storm", num_threads=4,
+                            ops_per_thread=200, seed=9)
+        config = small_config(
+            num_cores=4,
+            interconnect=resolved_interconnect(4, hop_latency=20,
+                                               contention="queued"))
+        first = Simulator(build_system(config, trace)).run(seed=9)
+        second = Simulator(build_system(config, trace)).run(seed=9)
+        assert first.to_json() == second.to_json()
+
+
+class TestScalingCli:
+    def test_small_preset_cold_then_cached(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        code = main(["figure", "scaling", "--small", "--cache-dir", cache_dir])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "stall attribution" in out
+        assert "cache hits" in out
+        assert "6 simulated" in out
+
+        code = main(["figure", "scaling", "--small", "--cache-dir", cache_dir])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 simulated, 6 cache hits" in out
+
+    def test_cores_flag_rejected_for_scaling(self, capsys):
+        code = main(["figure", "scaling", "--small", "--cores", "8",
+                     "--no-cache"])
+        assert code == 2
+        assert "--core-counts" in capsys.readouterr().err
+
+    def test_explicit_core_counts_and_scenarios(self, capsys):
+        code = main(["figure", "scaling", "--core-counts", "2,4",
+                     "--ops", "200", "--workloads", "task-pool",
+                     "--no-cache"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "task-pool" in out
+        assert "1x2" in out and "2x2" in out

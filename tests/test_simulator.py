@@ -5,11 +5,11 @@ import pytest
 from repro.config import ConsistencyModel, SpeculationConfig, SpeculationMode
 from repro.engine.results import RunResult, aggregate_breakdown
 from repro.engine.simulator import Simulator, simulate
-from repro.engine.system import build_system, make_controller
+from repro.engine.system import build_system
 from repro.errors import ConfigurationError, SimulationError
-from repro.trace.ops import compute, load, store
+from repro.trace.ops import compute, load
 from repro.trace.trace import MultiThreadedTrace, Trace
-from tests.conftest import block_addr, make_trace, tiny_config
+from tests.conftest import block_addr, tiny_config
 
 
 def small_trace(num_threads=2, ops=20):

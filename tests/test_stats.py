@@ -14,7 +14,7 @@ from repro.stats.breakdown import (
     speedup,
     speedup_table,
 )
-from repro.stats.confidence import ConfidenceInterval, mean_confidence_interval
+from repro.stats.confidence import mean_confidence_interval
 from repro.stats.report import format_breakdown_table, format_series_table, format_table
 from repro.trace.ops import atomic, compute, load, store
 from tests.conftest import block_addr, make_trace, tiny_config
