@@ -1,71 +1,79 @@
-"""Run every figure experiment and write the formatted tables to disk.
+"""Run every registered study and write the formatted tables to disk.
 
-This is the script used to produce results/full_run.txt (the numbers quoted
-in EXPERIMENTS.md).  Scale is controlled by the constants below.
+This is the script used to produce ``results/full_run.txt`` (regenerated,
+not committed -- see EXPERIMENTS.md for how to interpret and rebuild it).
+Scale is controlled by the constants below; ``--quick`` drops to a smoke
+scale for sanity checks.
 
-The whole figure suite runs through one shared campaign: every
-(configuration, workload, seed) cell any figure needs is prefetched up
-front -- in parallel with ``--jobs N`` and served from the persistent
-result cache (results/cache/) when already simulated -- and the figure
-drivers then only format memoized results.
+The whole suite runs through **one** deduplicated campaign plan: every
+study's grid (figures 1/8/9/10/11/12, both ablations, scaling, scenarios)
+is unioned by repro.studies.compile_plan, shared cells (e.g. the
+conventional-SC baseline that figures 8/9/10/12 normalise against) are
+simulated exactly once -- in parallel with ``--jobs N`` and served from
+the persistent result cache (results/cache/) when already simulated --
+and the study builders then only format memoized results.  Each study
+also emits JSON + CSV artifacts next to this script.
 """
-import argparse, time
+import argparse
+import time
+
+import repro.experiments  # noqa: F401  (imports register the studies)
 from repro.campaign import ResultCache
-from repro.experiments import (CONFIG_NAMES, ExperimentSettings, ExperimentRunner,
-                               run_figure1, run_figure8, run_figure9, run_figure10,
-                               run_figure11, run_figure12, run_scaling,
-                               run_scenarios, figure2_table, figure4_table,
+from repro.experiments import (ExperimentSettings, figure2_table, figure4_table,
                                figure5_table, figure6_table, figure7_table)
-from repro.scenarios import scenario_names
+from repro.studies import DEFAULT_STUDY_REGISTRY, compile_plan, run_study
 
 NUM_CORES = 16
 OPS_PER_THREAD = 6000
 SEEDS = (1,)
 
-def main(out_path, jobs=1, cache_dir="results/cache"):
-    settings = ExperimentSettings(num_cores=NUM_CORES, ops_per_thread=OPS_PER_THREAD,
-                                  seeds=SEEDS)
+#: presentation order (the classic figure order, then the newer studies).
+STUDY_ORDER = ("figure1", "figure8", "figure9", "figure10", "figure11",
+               "figure12", "scenarios", "scaling", "ablation-sb",
+               "ablation-cov")
+
+def main(out_path, jobs=1, cache_dir="results/cache", quick=False,
+         artifacts_dir="results"):
+    settings = ExperimentSettings(
+        num_cores=4 if quick else NUM_CORES,
+        ops_per_thread=800 if quick else OPS_PER_THREAD,
+        seeds=SEEDS)
     cache = ResultCache(cache_dir) if cache_dir else None
-    runner = ExperimentRunner(settings, jobs=jobs, cache=cache)
-    sections = []
+    specs = [DEFAULT_STUDY_REGISTRY.get(name) for name in STUDY_ORDER]
+    leftover = [s for s in DEFAULT_STUDY_REGISTRY.specs() if s.name not in STUDY_ORDER]
+    specs.extend(leftover)  # user-registered studies ride along
+
+    # One prefetch: the union of every study's cells, deduplicated, fanned
+    # out over the worker pool, and persisted in the shared cache.
+    plan = compile_plan(specs, settings)
+    study_runner = plan.runner(jobs=jobs, cache=cache)
     start = time.time()
-    # The union of every figure's configurations is the full registry; one
-    # prefetch call fans all missing cells out over the worker pool.
-    runner.prefetch(CONFIG_NAMES)
-    print(f"campaign: {runner.executor.last_report.describe(cache)} "
+    report = plan.execute(study_runner)
+    print(f"campaign: {plan.describe()}; {report.describe(cache)} "
           f"in {time.time()-start:.0f}s (jobs={jobs})", flush=True)
-    for name, fn in [("figure1", run_figure1), ("figure8", run_figure8),
-                     ("figure9", run_figure9), ("figure10", run_figure10),
-                     ("figure11", run_figure11), ("figure12", run_figure12)]:
+
+    sections = []
+    results = {}
+    for spec in specs:
         t0 = time.time()
-        result = fn(settings, runner)
+        result = run_study(spec, settings, study_runner=study_runner,
+                           out_dir=artifacts_dir)
+        results[spec.name] = result
         sections.append(result.format())
-        print(f"{name} done in {time.time()-t0:.0f}s", flush=True)
-    t0 = time.time()
-    scenario_result = run_scenarios(settings, runner,
-                                    scenarios=scenario_names())
-    sections.append(scenario_result.format())
-    print(f"scenarios done in {time.time()-t0:.0f}s", flush=True)
-    t0 = time.time()
-    # The machine-scaling study sweeps geometry (4..64 cores), so it runs
-    # its own per-core-count campaigns against the same shared cache.
-    scaling_result = run_scaling(settings, jobs=jobs, cache=cache)
-    sections.append(scaling_result.format())
-    print(f"scaling done in {time.time()-t0:.0f}s "
-          f"({scaling_result.report.describe(cache)})", flush=True)
-    fig10 = run_figure10(settings, runner)
+        print(f"{spec.name} done in {time.time()-t0:.0f}s", flush=True)
     sections.append(figure2_table())
-    sections.append(figure4_table(fig10))
+    sections.append(figure4_table(results["figure10"]))
     sections.append(figure5_table())
     sections.append(figure6_table())
     sections.append(figure7_table())
     text = ("InvisiFence reproduction -- full experiment run\n"
-            f"cores={NUM_CORES} ops/thread={OPS_PER_THREAD} seeds={SEEDS} "
-            f"warmup={settings.warmup_fraction}\n\n"
+            f"cores={settings.num_cores} ops/thread={settings.ops_per_thread} "
+            f"seeds={settings.seeds} warmup={settings.warmup_fraction}\n\n"
             + "\n\n".join(sections) + "\n")
     with open(out_path, "w") as handle:
         handle.write(text)
-    print(f"total {time.time()-start:.0f}s -> {out_path}")
+    print(f"total {time.time()-start:.0f}s -> {out_path} "
+          f"(+ JSON/CSV artifacts under {artifacts_dir}/)")
 
 if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
@@ -74,5 +82,11 @@ if __name__ == "__main__":
                         help="worker processes for missing cells")
     parser.add_argument("--cache-dir", default="results/cache",
                         help="result cache directory ('' disables caching)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke scale (4 cores, 800 ops) instead of the "
+                             "full 16-core run")
+    parser.add_argument("--artifacts-dir", default="results",
+                        help="where per-study JSON/CSV artifacts are written")
     args = parser.parse_args()
-    main(args.out, jobs=args.jobs, cache_dir=args.cache_dir)
+    main(args.out, jobs=args.jobs, cache_dir=args.cache_dir, quick=args.quick,
+         artifacts_dir=args.artifacts_dir)

@@ -20,12 +20,19 @@ timing (the minimum is robust against scheduler noise):
   sizes (core counts resolved to tori by the geometry resolver), so a
   regression that only bites at scale -- e.g. in the interconnect or the
   directory -- cannot hide behind the small fixed-size kernel numbers.
+* **studies** -- the unified all-studies campaign plan (every registered
+  study's grid, deduplicated by :func:`repro.studies.compile_plan`, with
+  the scaling study narrowed to the preset's ``geometry_cores``),
+  executed cold (every unique cell simulated) and then cached (every
+  cell a disk hit), so a regression in the study/plan/cache plumbing
+  shows up even when the kernel itself is healthy.
 
-Output schema (``BENCH_kernel.json``, version 2; v1 lacked the
-``geometries`` section and the ``geometry_cores`` preset field)::
+Output schema (``BENCH_kernel.json``, version 3; v2 lacked the
+``studies`` section, v1 also lacked ``geometries`` and the
+``geometry_cores`` preset field)::
 
     {
-      "schema": 2,
+      "schema": 3,
       "preset": {"name", "workload", "num_cores", "ops_per_thread",
                  "seed", "repeats", "engine", "geometry_cores"},
       "kernels": [{"config", "total_ops", "runtime_cycles",
@@ -35,7 +42,9 @@ Output schema (``BENCH_kernel.json``, version 2; v1 lacked the
       "scenario": {"name", "num_threads", "ops_per_thread",
                    "best_seconds", "ops_per_sec"},
       "geometries": [{"num_cores", "mesh", "total_ops",
-                      "best_seconds", "ops_per_sec"}]
+                      "best_seconds", "ops_per_sec"}],
+      "studies": {"studies", "cells", "unique_jobs", "cold_seconds",
+                  "cached_seconds", "cached_speedup"}
     }
 
 ``ops_per_sec`` is trace operations simulated (or spliced) per second of
@@ -59,7 +68,7 @@ from ..experiments.common import ExperimentSettings, make_config
 from ..workloads.registry import build_trace
 
 #: bump on any change to the report layout so stale baselines are rejected.
-BENCH_SCHEMA_VERSION = 2
+BENCH_SCHEMA_VERSION = 3
 
 #: configuration short-names covering the three controller kinds.
 KERNEL_CONFIGS = ("sc", "invisi_sc", "invisi_cont")
@@ -178,6 +187,40 @@ def _bench_geometries(preset: BenchPreset) -> List[Dict[str, Any]]:
     return geometries
 
 
+def _bench_studies(preset: BenchPreset, settings: ExperimentSettings,
+                   cache_dir: Path) -> Dict[str, Any]:
+    """Time the unified all-studies plan, cold then fully cached.
+
+    The scaling study is narrowed to the preset's ``geometry_cores`` so the
+    section scales with the preset like the geometry section does.  The
+    cached measurement uses a fresh runner per repeat, so every cell is a
+    disk hit rather than an in-process memo hit.
+    """
+    from ..experiments.scaling import scaling_study
+    from ..studies import DEFAULT_STUDY_REGISTRY, compile_plan
+
+    specs = [scaling_study(core_counts=preset.geometry_cores)
+             if spec.name == "scaling" else spec
+             for spec in DEFAULT_STUDY_REGISTRY.specs()]
+    plan = compile_plan(specs, settings)
+    cache = ResultCache(Path(cache_dir) / "studies-cache")
+
+    start = time.perf_counter()
+    plan.execute(plan.runner(jobs=1, cache=cache))
+    cold = time.perf_counter() - start
+    cached, _ = _best_of(
+        preset.repeats,
+        lambda: plan.execute(plan.runner(jobs=1, cache=cache)))
+    return {
+        "studies": len(specs),
+        "cells": plan.total_cells,
+        "unique_jobs": len(plan.unique_cells),
+        "cold_seconds": cold,
+        "cached_seconds": cached,
+        "cached_speedup": cold / cached if cached > 0 else 0.0,
+    }
+
+
 def _bench_scenario(preset: BenchPreset) -> Dict[str, Any]:
     best, trace = _best_of(
         preset.repeats,
@@ -211,6 +254,7 @@ def run_bench(preset: BenchPreset, cache_dir: Path) -> Dict[str, Any]:
         "campaign": _bench_campaign(preset, settings, cache_dir),
         "scenario": _bench_scenario(preset),
         "geometries": _bench_geometries(preset),
+        "studies": _bench_studies(preset, settings, cache_dir),
     }
 
 
@@ -243,6 +287,14 @@ def format_bench_report(report: Dict[str, Any]) -> str:
             f"  geometry {geometry['num_cores']:>3} cores "
             f"({geometry['mesh']:>3} torus) {geometry['ops_per_sec']:>12,.0f} "
             f"ops/s ({geometry['best_seconds'] * 1000:.1f} ms)")
+    studies = report.get("studies")
+    if studies:
+        lines.append(
+            f"  studies plan {studies['studies']} studies, "
+            f"{studies['cells']} cells -> {studies['unique_jobs']} unique: "
+            f"cold {studies['cold_seconds'] * 1000:.1f} ms, cached "
+            f"{studies['cached_seconds'] * 1000:.1f} ms "
+            f"({studies['cached_speedup']:.1f}x)")
     return "\n".join(lines)
 
 

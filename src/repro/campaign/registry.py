@@ -48,10 +48,23 @@ class ConfigRegistry:
 
     Iteration order is registration order, so sweeps over ``names()`` are
     deterministic.
+
+    A registry may *overlay* a ``parent``: lookups fall back to the parent
+    (live, so names registered in the parent later are still visible), while
+    registrations stay local.  The study framework uses overlays to give a
+    study private configuration variants (e.g. the ablation sweeps' swept
+    store-buffer sizes) without polluting :data:`DEFAULT_REGISTRY`.
     """
 
-    def __init__(self, factories: Optional[Dict[str, ConfigFactory]] = None) -> None:
+    def __init__(self, factories: Optional[Dict[str, ConfigFactory]] = None,
+                 parent: Optional["ConfigRegistry"] = None) -> None:
         self._factories: Dict[str, ConfigFactory] = dict(factories or {})
+        self._parent = parent
+        for name in self._factories:
+            if parent is not None and name in parent:
+                raise ConfigurationError(
+                    f"configuration {name!r} would shadow the parent "
+                    f"registry's registration")
 
     # -- registration --------------------------------------------------------
 
@@ -62,7 +75,7 @@ class ConfigRegistry:
             return lambda f: self.register(name, f)
         if not name:
             raise ConfigurationError("configuration name must be non-empty")
-        if name in self._factories:
+        if name in self:
             raise ConfigurationError(
                 f"configuration {name!r} is already registered"
             )
@@ -78,26 +91,34 @@ class ConfigRegistry:
     # -- lookup --------------------------------------------------------------
 
     def names(self) -> Tuple[str, ...]:
-        return tuple(self._factories)
+        """Registered short-names, parent's (live) first."""
+        if self._parent is None:
+            return tuple(self._factories)
+        return self._parent.names() + tuple(self._factories)
+
+    def factory(self, name: str) -> ConfigFactory:
+        """The factory registered under ``name`` (here or in the parent)."""
+        if name in self._factories:
+            return self._factories[name]
+        if self._parent is not None:
+            return self._parent.factory(name)
+        raise ConfigurationError(
+            f"unknown configuration {name!r}; known: {', '.join(self.names())}")
 
     def __contains__(self, name: object) -> bool:
-        return name in self._factories
+        if name in self._factories:
+            return True
+        return self._parent is not None and name in self._parent
 
     def __iter__(self) -> Iterator[str]:
-        return iter(self._factories)
+        return iter(self.names())
 
     def __len__(self) -> int:
-        return len(self._factories)
+        return len(self.names())
 
     def make(self, name: str, settings: "ExperimentSettings") -> SystemConfig:
         """Build the :class:`SystemConfig` registered under ``name``."""
-        try:
-            factory = self._factories[name]
-        except KeyError:
-            raise ConfigurationError(
-                f"unknown configuration {name!r}; known: {', '.join(self.names())}"
-            ) from None
-        return factory(settings)
+        return self.factory(name)(settings)
 
 
 # ---------------------------------------------------------------------------

@@ -1,9 +1,10 @@
 """Command-line interface.
 
-Seven subcommands cover the common entry points without writing any code::
+Eight subcommands cover the common entry points without writing any code::
 
     python -m repro simulate --workload apache --config invisi_sc --cores 8
     python -m repro figure 8 --cores 8 --ops 4000 --jobs 4
+    python -m repro study run figure8 scaling --jobs 4
     python -m repro sweep --configs sc,invisi_sc --workloads apache --jobs 4
     python -m repro workloads list
     python -m repro scenario run false-sharing-storm --jobs 4
@@ -17,6 +18,14 @@ per-phase figure, or the ``scaling`` machine-scaling study (a
 core-count sweep from 4 to 64 cores -- ``--core-counts`` overrides,
 ``--small`` is the CI smoke preset) at the requested scale; ``tables``
 prints the descriptive tables (Figures 2, 4, 5, 6, 7).
+
+``study list`` prints the registered declarative studies (see
+``EXPERIMENTS.md``); ``study run <name>... [--all]`` compiles the named
+studies (or every study) into **one** deduplicated campaign plan, executes
+it through the shared executor/cache, prints each study's text table, and
+writes per-study JSON + CSV artifacts under ``results/`` (``--out-dir``
+overrides).  ``--quick`` is the CI smoke preset (2 cores, 400 ops,
+apache+barnes).
 
 ``workloads list`` and ``scenario list`` print the registered workload
 presets and phase-structured scenarios.  ``scenario run <name>`` executes
@@ -103,6 +112,7 @@ from .engine.system import ENGINE_KINDS
 from .errors import ReproError
 from .scenarios.registry import DEFAULT_SCENARIO_REGISTRY, scenario_names, scenario_spec
 from .stats.phases import format_phase_breakdown
+from .studies import DEFAULT_STUDY_REGISTRY, compile_plan, run_study, write_artifacts
 from .stats.report import format_table
 from .workloads.presets import WORKLOAD_PRESETS, workload_names
 from .workloads.registry import build_trace
@@ -196,6 +206,36 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="smoke-test preset: 2 cores, 400 ops, "
                             "sc+invisi_sc on apache (explicit flags override)")
     _add_campaign_flags(sweep)
+
+    study = sub.add_parser(
+        "study", help="list and run declarative studies "
+                      "(one grid -> metrics -> artifacts pipeline)")
+    study_sub = study.add_subparsers(dest="study_command", required=True)
+    study_sub.add_parser("list", help="print registered studies and their grids")
+    st_run = study_sub.add_parser(
+        "run", help="run studies through one deduplicated campaign plan and "
+                    "write JSON + CSV artifacts")
+    st_run.add_argument("names", nargs="*",
+                        help="study names (see 'study list')")
+    st_run.add_argument("--all", action="store_true",
+                        help="run every registered study")
+    st_run.add_argument("--cores", type=int, default=None,
+                        help="cores per simulated machine (default: 8; "
+                             "studies with a core-count axis sweep their own)")
+    st_run.add_argument("--ops", type=int, default=None,
+                        help="operations per thread (default: 4000)")
+    st_run.add_argument("--seeds", type=_seeds_csv, default=(1,),
+                        help="comma-separated generator seeds")
+    st_run.add_argument("--workloads", type=str, default=None,
+                        help="comma-separated workload names for studies "
+                             "without a fixed workload axis (default: all "
+                             "presets)")
+    st_run.add_argument("--quick", action="store_true",
+                        help="smoke-test preset: 2 cores, 400 ops, "
+                             "apache+barnes (explicit flags override)")
+    st_run.add_argument("--out-dir", type=str, default="results",
+                        help="artifact directory (default: results)")
+    _add_campaign_flags(st_run)
 
     wl = sub.add_parser("workloads", help="inspect the workload preset catalogue")
     wl_sub = wl.add_subparsers(dest="workloads_command", required=True)
@@ -315,6 +355,60 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if result.phase_stats:
         print()
         print(format_phase_breakdown(result))
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    if args.study_command == "list":
+        settings = ExperimentSettings()
+        rows = [[spec.name, spec.describe_grid(settings), spec.title]
+                for spec in DEFAULT_STUDY_REGISTRY.specs()]
+        _print_catalog("Studies (declarative grid -> metrics -> artifacts)",
+                       ["name", "grid @ default scale", "description"], rows)
+        return 0
+    return _cmd_study_run(args)
+
+
+def _cmd_study_run(args: argparse.Namespace) -> int:
+    if args.all:
+        specs = DEFAULT_STUDY_REGISTRY.specs()
+    else:
+        if not args.names:
+            raise ReproError("name at least one study or pass --all "
+                             "(see 'repro study list')")
+        names = dict.fromkeys(args.names)  # dedupe, preserving order
+        specs = tuple(DEFAULT_STUDY_REGISTRY.get(name) for name in names)
+
+    cores = args.cores if args.cores is not None else (2 if args.quick else 8)
+    ops = args.ops if args.ops is not None else (400 if args.quick else 4000)
+    if args.workloads:
+        workloads = _split(args.workloads)
+    else:
+        workloads = (("apache", "barnes") if args.quick
+                     else tuple(workload_names()))
+    settings = ExperimentSettings(num_cores=cores, ops_per_thread=ops,
+                                  seeds=args.seeds, workloads=workloads)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+
+    # One deduplicated plan covers every requested study; shared cells
+    # (e.g. the sc baseline) are simulated exactly once.
+    plan = compile_plan(specs, settings)
+    study_runner = plan.runner(jobs=args.jobs, cache=cache)
+    start = time.perf_counter()
+    report = plan.execute(study_runner)
+    elapsed = time.perf_counter() - start
+    print(f"[plan] {plan.describe()}")
+    for spec in specs:
+        result = run_study(spec, settings, study_runner=study_runner)
+        print()
+        print(result.format())
+        json_path, csv_path = write_artifacts(spec, settings,
+                                              spec.tabulate(result),
+                                              args.out_dir)
+        print(f"[artifacts] wrote {json_path} and {csv_path}")
+    print()
+    print(f"[campaign] {report.describe(cache)} in {elapsed:.1f}s, "
+          f"--jobs {args.jobs}")
     return 0
 
 
@@ -491,6 +585,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     commands = {
         "simulate": _cmd_simulate,
         "figure": _cmd_figure,
+        "study": _cmd_study,
         "sweep": _cmd_sweep,
         "workloads": _cmd_workloads,
         "scenario": _cmd_scenario,

@@ -39,5 +39,9 @@ class WorkloadError(ReproError):
     """A workload specification or generator is invalid."""
 
 
+class StudyError(ReproError):
+    """A study declaration, registration, or plan is invalid."""
+
+
 class ScenarioError(WorkloadError):
     """A scenario specification, phase, or sharing pattern is invalid."""

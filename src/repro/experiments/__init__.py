@@ -9,12 +9,8 @@ seeds); the defaults reproduce the full 16-core setup, while
 harness.
 """
 
-from .ablation import (
-    CovTimeoutAblationResult,
-    StoreBufferAblationResult,
-    run_cov_timeout_ablation,
-    run_store_buffer_ablation,
-)
+# Import order fixes the study registry's presentation order: figures,
+# ablations, then the scaling and scenario studies.
 from .common import CONFIG_NAMES, ExperimentSettings, ExperimentRunner, make_config
 from .figure1 import Figure1Result, run_figure1
 from .figure8 import Figure8Result, run_figure8
@@ -22,14 +18,28 @@ from .figure9 import Figure9Result, run_figure9
 from .figure10 import Figure10Result, run_figure10
 from .figure11 import Figure11Result, run_figure11
 from .figure12 import Figure12Result, run_figure12
+from .ablation import (
+    CovTimeoutAblationResult,
+    StoreBufferAblationResult,
+    cov_timeout_study,
+    run_cov_timeout_ablation,
+    run_store_buffer_ablation,
+    store_buffer_study,
+)
 from .scaling import (
     SCALING_CONFIGS,
     SCALING_CORE_COUNTS,
     SCALING_SCENARIOS,
     ScalingResult,
     run_scaling,
+    scaling_study,
 )
-from .scenarios import SCENARIO_CONFIGS, ScenarioFigureResult, run_scenarios
+from .scenarios import (
+    SCENARIO_CONFIGS,
+    ScenarioFigureResult,
+    run_scenarios,
+    scenario_study,
+)
 from .tables import (
     figure2_table,
     figure4_table,
@@ -67,6 +77,10 @@ __all__ = [
     "SCALING_SCENARIOS",
     "ScalingResult",
     "run_scaling",
+    "scaling_study",
+    "scenario_study",
+    "store_buffer_study",
+    "cov_timeout_study",
     "figure2_table",
     "figure4_table",
     "figure5_table",

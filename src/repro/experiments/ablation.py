@@ -16,28 +16,87 @@ Two sensitivity studies are mentioned in the paper but not plotted:
   the timeout for InvisiFence-Continuous with CoV and reports runtime,
   violation cycles, and how the conflicts were resolved, showing the
   saturation behaviour that justifies the choice.
+
+Each swept point is a *study-private* configuration variant
+(``invisi_sc_sb8``, ``invisi_cont_cov_t1000``, ...) overlaid on the
+default registry while the study runs, so ablation cells go through the
+same campaign executor, result cache, and dedup plan as every figure.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..campaign.registry import ConfigFactory
 from ..config import (
     ConsistencyModel,
     SpeculationConfig,
     SpeculationMode,
     StoreBufferConfig,
     StoreBufferKind,
+    SystemConfig,
     ViolationPolicy,
     paper_config,
 )
-from ..engine.simulator import simulate
 from ..stats.report import format_table
+from ..studies.artifacts import StudyTable
+from ..studies.registry import register_study
+from ..studies.runner import StudyContext, run_study
+from ..studies.spec import StudySpec
 from .common import ExperimentRunner, ExperimentSettings
 
 DEFAULT_SB_SIZES = (1, 2, 4, 8, 16, 32, 64)
 DEFAULT_COV_TIMEOUTS = (0, 250, 1000, 4000, 16000)
+
+
+def _sb_name(entries: int) -> str:
+    return f"invisi_sc_sb{entries}"
+
+
+@lru_cache(maxsize=None)
+def _sb_factory(entries: int) -> ConfigFactory:
+    """Single-checkpoint InvisiFence-Selective with a bounded coalescing SB.
+
+    Cached per capacity so repeated sweeps re-register the identical
+    factory object (overlaying it again is then a no-op).
+    """
+    def factory(settings: "ExperimentSettings") -> SystemConfig:
+        return paper_config(
+            ConsistencyModel.SC,
+            SpeculationConfig(mode=SpeculationMode.SELECTIVE),
+            num_cores=settings.num_cores,
+        ).replace(store_buffer=StoreBufferConfig(StoreBufferKind.COALESCING_BLOCK,
+                                                 entries, 64))
+    return factory
+
+
+def _cov_name(timeout: int) -> str:
+    return f"invisi_cont_cov_t{timeout}"
+
+
+@lru_cache(maxsize=None)
+def _cov_factory(timeout: int) -> ConfigFactory:
+    """InvisiFence-Continuous with a fixed CoV window (0 = abort policy)."""
+    def factory(settings: "ExperimentSettings") -> SystemConfig:
+        if timeout == 0:
+            spec = SpeculationConfig(mode=SpeculationMode.CONTINUOUS,
+                                     num_checkpoints=2,
+                                     violation_policy=ViolationPolicy.ABORT)
+        else:
+            spec = SpeculationConfig(mode=SpeculationMode.CONTINUOUS,
+                                     num_checkpoints=2,
+                                     violation_policy=ViolationPolicy.COMMIT_ON_VIOLATE,
+                                     cov_timeout=timeout)
+        return paper_config(ConsistencyModel.SC, spec,
+                            num_cores=settings.num_cores)
+    return factory
+
+
+def _first_seed(settings: "ExperimentSettings") -> Tuple[int, ...]:
+    """Ablations sweep a design parameter, not seeds: first seed only."""
+    return (settings.seeds[0],)
 
 
 @dataclass
@@ -78,28 +137,41 @@ class StoreBufferAblationResult:
                   f"(InvisiFence-Selective SC, {self.workload})")
 
 
-def run_store_buffer_ablation(
-    settings: Optional[ExperimentSettings] = None,
-    workload: str = "apache",
-    sizes: Sequence[int] = DEFAULT_SB_SIZES,
-    runner: Optional[ExperimentRunner] = None,
-) -> StoreBufferAblationResult:
-    """Sweep the store-buffer capacity of single-checkpoint InvisiFence."""
-    settings = settings or ExperimentSettings()
-    runner = runner or ExperimentRunner(settings)
-    trace = runner.trace(workload, settings.seeds[0])
-    result = StoreBufferAblationResult(settings=settings, workload=workload)
-    for entries in sizes:
-        config = paper_config(
-            ConsistencyModel.SC,
-            SpeculationConfig(mode=SpeculationMode.SELECTIVE),
-            num_cores=settings.num_cores,
-        ).replace(store_buffer=StoreBufferConfig(StoreBufferKind.COALESCING_BLOCK,
-                                                 entries, 64))
-        run = simulate(config, trace, warmup_fraction=settings.warmup_fraction)
-        result.cycles[entries] = run.cycles_per_core()
-        result.sb_full[entries] = float(run.aggregate().sb_full)
-    return result
+def store_buffer_study(workload: str = "apache",
+                       sizes: Sequence[int] = DEFAULT_SB_SIZES) -> StudySpec:
+    """Declare the store-buffer capacity sweep as a study."""
+    sizes = tuple(sizes)
+
+    def _build(ctx: StudyContext) -> StoreBufferAblationResult:
+        result = StoreBufferAblationResult(settings=ctx.settings,
+                                           workload=workload)
+        seed = ctx.settings.seeds[0]
+        for entries in sizes:
+            run = ctx.run(_sb_name(entries), workload, seed)
+            result.cycles[entries] = run.cycles_per_core()
+            result.sb_full[entries] = float(run.aggregate().sb_full)
+        return result
+
+    def _tabulate(result: StoreBufferAblationResult) -> List[StudyTable]:
+        relative = result.relative_runtime()
+        rows = [[result.workload, entries, result.cycles[entries],
+                 relative[entries], result.sb_full[entries]]
+                for entries in sorted(result.cycles)]
+        return [StudyTable("store_buffer_capacity",
+                           ("workload", "sb_entries", "cycles_per_core",
+                            "runtime_vs_largest", "sb_full_cycles"), rows)]
+
+    return StudySpec(
+        name="ablation-sb",
+        title="Sensitivity of InvisiFence-Selective to store-buffer capacity",
+        configs=tuple(_sb_name(entries) for entries in sizes),
+        workloads=(workload,),
+        seeds=_first_seed,
+        extra_configs={_sb_name(entries): _sb_factory(entries)
+                       for entries in sizes},
+        build=_build,
+        tabulate=_tabulate,
+    )
 
 
 @dataclass
@@ -136,6 +208,63 @@ class CovTimeoutAblationResult:
                   f"(InvisiFence-Continuous, {self.workload})")
 
 
+def cov_timeout_study(workload: str = "apache",
+                      timeouts: Sequence[int] = DEFAULT_COV_TIMEOUTS) -> StudySpec:
+    """Declare the commit-on-violate timeout sweep as a study."""
+    timeouts = tuple(timeouts)
+
+    def _build(ctx: StudyContext) -> CovTimeoutAblationResult:
+        result = CovTimeoutAblationResult(settings=ctx.settings,
+                                          workload=workload)
+        seed = ctx.settings.seeds[0]
+        for timeout in timeouts:
+            run = ctx.run(_cov_name(timeout), workload, seed)
+            stats = run.aggregate()
+            result.cycles[timeout] = run.cycles_per_core()
+            result.outcomes[timeout] = (stats.aborts, stats.cov_commits,
+                                        stats.violation)
+        return result
+
+    def _tabulate(result: CovTimeoutAblationResult) -> List[StudyTable]:
+        relative = result.relative_runtime()
+        rows = []
+        for timeout in sorted(result.cycles):
+            aborts, cov_commits, violation = result.outcomes[timeout]
+            rows.append([result.workload, timeout, result.cycles[timeout],
+                         relative[timeout], aborts, cov_commits, violation])
+        return [StudyTable("cov_timeout",
+                           ("workload", "cov_timeout", "cycles_per_core",
+                            "runtime_vs_abort", "aborts", "cov_commits",
+                            "violation_cycles"), rows)]
+
+    return StudySpec(
+        name="ablation-cov",
+        title="Sensitivity of continuous speculation to the CoV timeout",
+        configs=tuple(_cov_name(timeout) for timeout in timeouts),
+        workloads=(workload,),
+        seeds=_first_seed,
+        extra_configs={_cov_name(timeout): _cov_factory(timeout)
+                       for timeout in timeouts},
+        build=_build,
+        tabulate=_tabulate,
+    )
+
+
+ABLATION_SB_STUDY = register_study(store_buffer_study())
+ABLATION_COV_STUDY = register_study(cov_timeout_study())
+
+
+def run_store_buffer_ablation(
+    settings: Optional[ExperimentSettings] = None,
+    workload: str = "apache",
+    sizes: Sequence[int] = DEFAULT_SB_SIZES,
+    runner: Optional[ExperimentRunner] = None,
+) -> StoreBufferAblationResult:
+    """Sweep the store-buffer capacity of single-checkpoint InvisiFence."""
+    return run_study(store_buffer_study(workload, sizes), settings,
+                     runner=runner)
+
+
 def run_cov_timeout_ablation(
     settings: Optional[ExperimentSettings] = None,
     workload: str = "apache",
@@ -147,23 +276,5 @@ def run_cov_timeout_ablation(
     A timeout of ``0`` selects the plain abort-immediately policy and serves
     as the baseline row.
     """
-    settings = settings or ExperimentSettings()
-    runner = runner or ExperimentRunner(settings)
-    trace = runner.trace(workload, settings.seeds[0])
-    result = CovTimeoutAblationResult(settings=settings, workload=workload)
-    for timeout in timeouts:
-        if timeout == 0:
-            spec = SpeculationConfig(mode=SpeculationMode.CONTINUOUS,
-                                     num_checkpoints=2,
-                                     violation_policy=ViolationPolicy.ABORT)
-        else:
-            spec = SpeculationConfig(mode=SpeculationMode.CONTINUOUS,
-                                     num_checkpoints=2,
-                                     violation_policy=ViolationPolicy.COMMIT_ON_VIOLATE,
-                                     cov_timeout=timeout)
-        config = paper_config(ConsistencyModel.SC, spec, num_cores=settings.num_cores)
-        run = simulate(config, trace, warmup_fraction=settings.warmup_fraction)
-        stats = run.aggregate()
-        result.cycles[timeout] = run.cycles_per_core()
-        result.outcomes[timeout] = (stats.aborts, stats.cov_commits, stats.violation)
-    return result
+    return run_study(cov_timeout_study(workload, timeouts), settings,
+                     runner=runner)

@@ -22,21 +22,55 @@ name                meaning
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..campaign.cache import ResultCache
-from ..campaign.executor import CampaignExecutor
+from ..campaign.executor import CampaignExecutor, CampaignReport
 from ..campaign.jobs import Job, dedupe_jobs, expand_jobs
-from ..campaign.registry import DEFAULT_REGISTRY
+from ..campaign.registry import ConfigRegistry, DEFAULT_REGISTRY
 from ..config import SystemConfig
 from ..engine.results import RunResult
+from ..studies import metrics as _metrics
 from ..trace.trace import MultiThreadedTrace
 from ..workloads.presets import workload_names
 
-#: Snapshot of the default registry's short-names at import time.  Use
-#: ``DEFAULT_REGISTRY.names()`` to also see configurations registered later
-#: at runtime.
-CONFIG_NAMES = DEFAULT_REGISTRY.names()
+
+class _LiveConfigNames(Sequence):
+    """A live, sequence-like view of ``DEFAULT_REGISTRY.names()``.
+
+    Configurations registered at runtime (``DEFAULT_REGISTRY.register``)
+    are immediately visible here, so call sites that imported
+    :data:`CONFIG_NAMES` never work from a stale import-time snapshot.
+    """
+
+    def _names(self) -> Tuple[str, ...]:
+        return DEFAULT_REGISTRY.names()
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names())
+
+    def __len__(self) -> int:
+        return len(self._names())
+
+    def __getitem__(self, index):
+        return self._names()[index]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._names()
+
+    def __eq__(self, other: object) -> bool:
+        try:
+            return self._names() == tuple(other)  # type: ignore[arg-type]
+        except TypeError:
+            return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return repr(self._names())
+
+
+#: Live view of the default registry's short-names (kept in sync with
+#: runtime registrations; equivalent to calling ``DEFAULT_REGISTRY.names()``).
+CONFIG_NAMES = _LiveConfigNames()
 
 
 @dataclass(frozen=True)
@@ -86,13 +120,18 @@ class ExperimentRunner:
     :class:`~repro.campaign.cache.ResultCache` is attached, completed cells
     persist across processes and sessions.  :meth:`prefetch` computes a
     whole cross-product up front so the figure drivers' serial loops then
-    hit only memoized results.
+    hit only memoized results.  The convenience aggregations delegate to
+    the study framework's metric pipeline (:mod:`repro.studies.metrics`).
     """
 
     def __init__(self, settings: ExperimentSettings, jobs: int = 1,
-                 cache: Optional[ResultCache] = None) -> None:
+                 cache: Optional[ResultCache] = None,
+                 registry: Optional[ConfigRegistry] = None) -> None:
         self.settings = settings
-        self.executor = CampaignExecutor(settings, jobs=jobs, cache=cache)
+        self.executor = CampaignExecutor(settings, jobs=jobs, cache=cache,
+                                         registry=registry)
+        #: what the last :meth:`run_jobs` call actually did.
+        self.last_report = CampaignReport()
         self._results: Dict[Tuple[str, str, int], RunResult] = {}
 
     # -- building blocks ----------------------------------------------------
@@ -103,11 +142,18 @@ class ExperimentRunner:
     def run_jobs(self, jobs: Sequence[Job]) -> List[RunResult]:
         """Run campaign cells, skipping any already memoized in-process."""
         jobs = list(jobs)
-        todo = [job for job in dedupe_jobs(jobs)
+        unique = dedupe_jobs(jobs)
+        todo = [job for job in unique
                 if (job.config_name, job.workload, job.seed) not in self._results]
+        report = CampaignReport(total=len(jobs),
+                                deduplicated=len(jobs) - len(unique))
         if todo:
             for job, result in zip(todo, self.executor.run(todo)):
                 self._results[(job.config_name, job.workload, job.seed)] = result
+            tally = self.executor.last_report
+            report.simulated = tally.simulated
+            report.cache_hits = tally.cache_hits
+        self.last_report = report
         return [self._results[(job.config_name, job.workload, job.seed)]
                 for job in jobs]
 
@@ -133,31 +179,22 @@ class ExperimentRunner:
         return [self.run(config_name, workload, seed) for seed in self.settings.seeds]
 
     def mean_cycles(self, config_name: str, workload: str) -> float:
-        runs = self.run_all_seeds(config_name, workload)
-        return sum(r.cycles_per_core() for r in runs) / len(runs)
+        return _metrics.mean_cycles(self.run_all_seeds(config_name, workload))
 
     def mean_breakdown(self, config_name: str, workload: str) -> Dict[str, float]:
-        runs = self.run_all_seeds(config_name, workload)
-        combined: Dict[str, float] = {}
-        for run in runs:
-            for component, value in run.breakdown().items():
-                combined[component] = combined.get(component, 0.0) + value / len(runs)
-        return combined
+        return _metrics.mean_breakdown(self.run_all_seeds(config_name, workload))
 
     def speedup(self, config_name: str, workload: str, baseline: str) -> float:
-        base = self.mean_cycles(baseline, workload)
-        mine = self.mean_cycles(config_name, workload)
-        return base / mine if mine else 0.0
+        return _metrics.speedup(self.run_all_seeds(config_name, workload),
+                                self.run_all_seeds(baseline, workload))
 
     def normalized_breakdown(self, config_name: str, workload: str,
                              baseline: str) -> Dict[str, float]:
         """Breakdown of ``config_name`` as % of the baseline's runtime."""
-        base_total = sum(self.mean_breakdown(baseline, workload).values())
-        values = self.mean_breakdown(config_name, workload)
-        if base_total <= 0:
-            return {k: 0.0 for k in values}
-        return {k: 100.0 * v / base_total for k, v in values.items()}
+        return _metrics.normalized_breakdown(
+            self.run_all_seeds(config_name, workload),
+            self.run_all_seeds(baseline, workload))
 
     def speculation_fraction(self, config_name: str, workload: str) -> float:
-        runs = self.run_all_seeds(config_name, workload)
-        return sum(r.speculation_fraction() for r in runs) / len(runs)
+        return _metrics.mean_speculation_fraction(
+            self.run_all_seeds(config_name, workload))

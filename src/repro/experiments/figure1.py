@@ -15,9 +15,13 @@ synchronisation-heavy commercial workloads.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ..stats.report import format_table
+from ..studies.artifacts import StudyTable
+from ..studies.registry import register_study
+from ..studies.runner import StudyContext, run_study
+from ..studies.spec import StudySpec
 from .common import ExperimentRunner, ExperimentSettings
 
 FIGURE1_CONFIGS = ("sc", "tso", "rmo")
@@ -54,18 +58,40 @@ class Figure1Result:
                   "(% of SC execution time)")
 
 
-def run_figure1(settings: Optional[ExperimentSettings] = None,
-                runner: Optional[ExperimentRunner] = None) -> Figure1Result:
-    """Regenerate Figure 1."""
-    settings = settings or ExperimentSettings()
-    runner = runner or ExperimentRunner(settings)
-    result = Figure1Result(settings=settings)
-    for workload in settings.workloads:
+def _build(ctx: StudyContext) -> Figure1Result:
+    result = Figure1Result(settings=ctx.settings)
+    for workload in ctx.settings.workloads:
         result.stalls[workload] = {}
         for config in _CONFIGS:
-            normalized = runner.normalized_breakdown(config, workload, baseline="sc")
+            normalized = ctx.normalized_breakdown(config, workload, baseline="sc")
             result.stalls[workload][config] = {
                 "sb_drain": normalized.get("sb_drain", 0.0),
                 "sb_full": normalized.get("sb_full", 0.0),
             }
     return result
+
+
+def _tabulate(result: Figure1Result) -> List[StudyTable]:
+    rows = [[workload, config,
+             result.stalls[workload][config]["sb_drain"],
+             result.stalls[workload][config]["sb_full"],
+             result.total(workload, config)]
+            for workload in result.stalls for config in _CONFIGS]
+    return [StudyTable("ordering_stalls",
+                       ("workload", "config", "sb_drain_pct", "sb_full_pct",
+                        "total_pct"), rows)]
+
+
+FIGURE1_STUDY = register_study(StudySpec(
+    name="figure1",
+    title="Ordering stalls in conventional SC/TSO/RMO (% of SC runtime)",
+    configs=FIGURE1_CONFIGS,
+    build=_build,
+    tabulate=_tabulate,
+))
+
+
+def run_figure1(settings: Optional[ExperimentSettings] = None,
+                runner: Optional[ExperimentRunner] = None) -> Figure1Result:
+    """Regenerate Figure 1."""
+    return run_study(FIGURE1_STUDY, settings, runner=runner)

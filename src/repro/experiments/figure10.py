@@ -9,9 +9,13 @@ synchronisation-heavy workloads).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ..stats.report import format_series_table
+from ..studies.artifacts import StudyTable
+from ..studies.registry import register_study
+from ..studies.runner import StudyContext, run_study
+from ..studies.spec import StudySpec
 from .common import ExperimentRunner, ExperimentSettings
 
 FIGURE10_CONFIGS = ("invisi_sc", "invisi_tso", "invisi_rmo")
@@ -37,15 +41,34 @@ class Figure10Result:
             title="Figure 10: percent of cycles spent in speculation")
 
 
+def _build(ctx: StudyContext) -> Figure10Result:
+    result = Figure10Result(settings=ctx.settings)
+    for workload in ctx.settings.workloads:
+        result.speculation_pct[workload] = {}
+        for config in FIGURE10_CONFIGS:
+            fraction = ctx.mean_metric("speculation_fraction", config, workload)
+            result.speculation_pct[workload][config] = 100.0 * fraction
+    return result
+
+
+def _tabulate(result: Figure10Result) -> List[StudyTable]:
+    rows = [[workload, config, result.speculation_pct[workload][config]]
+            for workload in result.speculation_pct
+            for config in FIGURE10_CONFIGS]
+    return [StudyTable("speculation_pct",
+                       ("workload", "config", "speculation_pct"), rows)]
+
+
+FIGURE10_STUDY = register_study(StudySpec(
+    name="figure10",
+    title="Percent of cycles InvisiFence-Selective spends speculating",
+    configs=FIGURE10_CONFIGS,
+    build=_build,
+    tabulate=_tabulate,
+))
+
+
 def run_figure10(settings: Optional[ExperimentSettings] = None,
                  runner: Optional[ExperimentRunner] = None) -> Figure10Result:
     """Regenerate Figure 10."""
-    settings = settings or ExperimentSettings()
-    runner = runner or ExperimentRunner(settings)
-    result = Figure10Result(settings=settings)
-    for workload in settings.workloads:
-        result.speculation_pct[workload] = {}
-        for config in FIGURE10_CONFIGS:
-            fraction = runner.speculation_fraction(config, workload)
-            result.speculation_pct[workload][config] = 100.0 * fraction
-    return result
+    return run_study(FIGURE10_STUDY, settings, runner=runner)

@@ -15,7 +15,11 @@ from typing import Dict, Optional
 
 from ..cpu.stats import BREAKDOWN_COMPONENTS
 from ..stats.report import format_breakdown_table
+from ..studies.registry import register_study
+from ..studies.runner import StudyContext, run_study
+from ..studies.spec import StudySpec
 from .common import ExperimentRunner, ExperimentSettings
+from .figure9 import breakdown_tables
 
 FIGURE11_CONFIGS = ("aso_sc", "invisi_sc", "invisi_sc_2ckpt")
 
@@ -42,15 +46,26 @@ class Figure11Result:
                   "Invisi_sc (2 ckpt), % of ASOsc runtime")
 
 
+def _build(ctx: StudyContext) -> Figure11Result:
+    result = Figure11Result(settings=ctx.settings)
+    for workload in ctx.settings.workloads:
+        result.breakdowns[workload] = {}
+        for config in FIGURE11_CONFIGS:
+            result.breakdowns[workload][config] = ctx.normalized_breakdown(
+                config, workload, baseline="aso_sc")
+    return result
+
+
+FIGURE11_STUDY = register_study(StudySpec(
+    name="figure11",
+    title="InvisiFence-Selective vs the ASO baseline, % of ASOsc runtime",
+    configs=FIGURE11_CONFIGS,
+    build=_build,
+    tabulate=lambda result: breakdown_tables(result.breakdowns),
+))
+
+
 def run_figure11(settings: Optional[ExperimentSettings] = None,
                  runner: Optional[ExperimentRunner] = None) -> Figure11Result:
     """Regenerate Figure 11."""
-    settings = settings or ExperimentSettings()
-    runner = runner or ExperimentRunner(settings)
-    result = Figure11Result(settings=settings)
-    for workload in settings.workloads:
-        result.breakdowns[workload] = {}
-        for config in FIGURE11_CONFIGS:
-            result.breakdowns[workload][config] = runner.normalized_breakdown(
-                config, workload, baseline="aso_sc")
-    return result
+    return run_study(FIGURE11_STUDY, settings, runner=runner)

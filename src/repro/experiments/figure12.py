@@ -17,7 +17,11 @@ from typing import Dict, Optional
 
 from ..cpu.stats import BREAKDOWN_COMPONENTS
 from ..stats.report import format_breakdown_table
+from ..studies.registry import register_study
+from ..studies.runner import StudyContext, run_study
+from ..studies.spec import StudySpec
 from .common import ExperimentRunner, ExperimentSettings
+from .figure9 import breakdown_tables
 
 FIGURE12_CONFIGS = ("sc", "invisi_cont", "rmo", "invisi_cont_cov", "invisi_rmo")
 
@@ -47,15 +51,26 @@ class Figure12Result:
                   "and Invisi_rmo, % of SC runtime")
 
 
+def _build(ctx: StudyContext) -> Figure12Result:
+    result = Figure12Result(settings=ctx.settings)
+    for workload in ctx.settings.workloads:
+        result.breakdowns[workload] = {}
+        for config in FIGURE12_CONFIGS:
+            result.breakdowns[workload][config] = ctx.normalized_breakdown(
+                config, workload, baseline="sc")
+    return result
+
+
+FIGURE12_STUDY = register_study(StudySpec(
+    name="figure12",
+    title="Continuous speculation and commit-on-violate, % of SC runtime",
+    configs=FIGURE12_CONFIGS,
+    build=_build,
+    tabulate=lambda result: breakdown_tables(result.breakdowns),
+))
+
+
 def run_figure12(settings: Optional[ExperimentSettings] = None,
                  runner: Optional[ExperimentRunner] = None) -> Figure12Result:
     """Regenerate Figure 12."""
-    settings = settings or ExperimentSettings()
-    runner = runner or ExperimentRunner(settings)
-    result = Figure12Result(settings=settings)
-    for workload in settings.workloads:
-        result.breakdowns[workload] = {}
-        for config in FIGURE12_CONFIGS:
-            result.breakdowns[workload][config] = runner.normalized_breakdown(
-                config, workload, baseline="sc")
-    return result
+    return run_study(FIGURE12_STUDY, settings, runner=runner)

@@ -10,10 +10,15 @@ matches or exceeds conventional RMO, with Invisi_rmo the fastest.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
-from ..stats.confidence import ConfidenceInterval, mean_confidence_interval
+from ..stats.confidence import ConfidenceInterval
 from ..stats.report import format_series_table
+from ..studies.artifacts import StudyTable
+from ..studies.metrics import speedup_interval
+from ..studies.registry import register_study
+from ..studies.runner import StudyContext, run_study
+from ..studies.spec import StudySpec
 from .common import ExperimentRunner, ExperimentSettings
 
 FIGURE8_CONFIGS = ("sc", "tso", "rmo", "invisi_sc", "invisi_tso", "invisi_rmo")
@@ -40,22 +45,42 @@ class Figure8Result:
             table, title="Figure 8: speedup over conventional SC (higher is better)")
 
 
-def run_figure8(settings: Optional[ExperimentSettings] = None,
-                runner: Optional[ExperimentRunner] = None) -> Figure8Result:
-    """Regenerate Figure 8."""
-    settings = settings or ExperimentSettings()
-    runner = runner or ExperimentRunner(settings)
-    result = Figure8Result(settings=settings)
-    for workload in settings.workloads:
+def _build(ctx: StudyContext) -> Figure8Result:
+    result = Figure8Result(settings=ctx.settings)
+    for workload in ctx.settings.workloads:
         result.speedups[workload] = {}
         result.intervals[workload] = {}
-        baseline_runs = runner.run_all_seeds("sc", workload)
+        baseline_runs = ctx.runs("sc", workload)
         baseline_by_seed = {run.seed: run.cycles_per_core() for run in baseline_runs}
         for config in FIGURE8_CONFIGS:
-            runs = runner.run_all_seeds(config, workload)
-            per_seed = [baseline_by_seed[run.seed] / run.cycles_per_core()
-                        for run in runs if run.cycles_per_core() > 0]
-            interval = mean_confidence_interval(per_seed)
+            interval = speedup_interval(ctx.runs(config, workload), baseline_by_seed)
             result.speedups[workload][config] = interval.mean
             result.intervals[workload][config] = interval
     return result
+
+
+def _tabulate(result: Figure8Result) -> List[StudyTable]:
+    rows = []
+    for workload, by_config in result.speedups.items():
+        for config in FIGURE8_CONFIGS:
+            interval = result.intervals[workload][config]
+            rows.append([workload, config, by_config[config],
+                         interval.low, interval.high, interval.samples])
+    return [StudyTable("speedup_over_sc",
+                       ("workload", "config", "speedup", "ci_low", "ci_high",
+                        "seeds"), rows)]
+
+
+FIGURE8_STUDY = register_study(StudySpec(
+    name="figure8",
+    title="Speedup of conventional and InvisiFence-Selective configs over SC",
+    configs=FIGURE8_CONFIGS,
+    build=_build,
+    tabulate=_tabulate,
+))
+
+
+def run_figure8(settings: Optional[ExperimentSettings] = None,
+                runner: Optional[ExperimentRunner] = None) -> Figure8Result:
+    """Regenerate Figure 8."""
+    return run_study(FIGURE8_STUDY, settings, runner=runner)

@@ -10,10 +10,14 @@ component, with Invisi_rmo showing the least time in total.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ..cpu.stats import BREAKDOWN_COMPONENTS
 from ..stats.report import format_breakdown_table
+from ..studies.artifacts import StudyTable
+from ..studies.registry import register_study
+from ..studies.runner import StudyContext, run_study
+from ..studies.spec import StudySpec
 from .common import ExperimentRunner, ExperimentSettings
 from .figure8 import FIGURE8_CONFIGS
 
@@ -40,15 +44,46 @@ class Figure9Result:
                   "(lower total is better)")
 
 
+def _build(ctx: StudyContext) -> Figure9Result:
+    result = Figure9Result(settings=ctx.settings)
+    for workload in ctx.settings.workloads:
+        result.breakdowns[workload] = {}
+        for config in FIGURE8_CONFIGS:
+            result.breakdowns[workload][config] = ctx.normalized_breakdown(
+                config, workload, baseline="sc")
+    return result
+
+
+def breakdown_tables(breakdowns: Dict[str, Dict[str, Dict[str, float]]],
+                     table_name: str = "runtime_breakdown",
+                     key_column: str = "workload") -> List[StudyTable]:
+    """Flatten {key: {config: {component: %}}} into one artifact table.
+
+    Shared by every breakdown-shaped study (figures 9/11/12, scenarios,
+    scaling's stall attribution -- the latter keys rows by geometry).
+    """
+    rows = []
+    for key, configs in breakdowns.items():
+        for config, values in configs.items():
+            rows.append([key, config]
+                        + [float(values.get(c, 0.0)) for c in BREAKDOWN_COMPONENTS]
+                        + [float(sum(values.get(c, 0.0)
+                                     for c in BREAKDOWN_COMPONENTS))])
+    return [StudyTable(table_name,
+                       (key_column, "config") + tuple(BREAKDOWN_COMPONENTS)
+                       + ("total_pct",), rows)]
+
+
+FIGURE9_STUDY = register_study(StudySpec(
+    name="figure9",
+    title="Runtime breakdown of Figure 8's configs, % of SC runtime",
+    configs=FIGURE8_CONFIGS,
+    build=_build,
+    tabulate=lambda result: breakdown_tables(result.breakdowns),
+))
+
+
 def run_figure9(settings: Optional[ExperimentSettings] = None,
                 runner: Optional[ExperimentRunner] = None) -> Figure9Result:
     """Regenerate Figure 9."""
-    settings = settings or ExperimentSettings()
-    runner = runner or ExperimentRunner(settings)
-    result = Figure9Result(settings=settings)
-    for workload in settings.workloads:
-        result.breakdowns[workload] = {}
-        for config in FIGURE8_CONFIGS:
-            result.breakdowns[workload][config] = runner.normalized_breakdown(
-                config, workload, baseline="sc")
-    return result
+    return run_study(FIGURE9_STUDY, settings, runner=runner)

@@ -2,11 +2,11 @@
 
 The paper evaluates a fixed 4x4-torus 16-core machine, but its central
 claim -- that speculation keeps ordering enforcement performance-neutral
-where store-buffer designs degrade -- is a *scaling* claim.  This driver
-sweeps machine geometry as a first-class axis: every (core count, machine
-configuration, scenario) cell runs through the campaign executor (so cells
-are cached, deduplicated, and parallelisable like any other campaign), and
-the result is summarised as
+where store-buffer designs degrade -- is a *scaling* claim.  This study
+sweeps machine geometry as a first-class grid axis: every (core count,
+machine configuration, scenario) cell runs through the campaign executor
+(so cells are cached, deduplicated, and parallelisable like any other
+campaign), and the result is summarised as
 
 * **normalized-throughput scaling curves** -- aggregate instructions per
   kilocycle at each core count, normalized to the same configuration's
@@ -26,17 +26,20 @@ layered on through a registered configuration variant.
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..campaign.cache import ResultCache
-from ..campaign.executor import CampaignExecutor, CampaignReport
-from ..campaign.jobs import expand_jobs
+from ..campaign.executor import CampaignReport
 from ..cpu.stats import BREAKDOWN_COMPONENTS
-from ..engine.results import RunResult
 from ..stats.report import format_breakdown_table, format_table
+from ..studies.artifacts import StudyTable
+from ..studies.metrics import mean_breakdown_pct
+from ..studies.registry import register_study
+from ..studies.runner import StudyContext, run_study
+from ..studies.spec import StudySpec
 from .common import ExperimentSettings
+from .figure9 import breakdown_tables
 
 #: Core counts swept by the full study (2x2 ... 8x8 tori).
 SCALING_CORE_COUNTS = (4, 8, 16, 32, 64)
@@ -96,22 +99,66 @@ class ScalingResult:
         return "\n\n".join(sections)
 
 
-def _throughput(runs: Sequence[RunResult]) -> float:
-    """Mean aggregate instructions per kilocycle over seed repetitions."""
-    values = []
-    for run in runs:
-        if run.runtime > 0:
-            values.append(1000.0 * run.aggregate().instructions / run.runtime)
-    return sum(values) / len(values) if values else 0.0
+def scaling_study(core_counts: Sequence[int] = SCALING_CORE_COUNTS,
+                  configs: Sequence[str] = SCALING_CONFIGS,
+                  scenarios: Sequence[str] = SCALING_SCENARIOS) -> StudySpec:
+    """Declare the machine-scaling sweep as a study."""
+    core_counts = tuple(sorted(core_counts))
+    configs = tuple(configs)
+    scenarios = tuple(scenarios)
+
+    def _build(ctx: StudyContext) -> ScalingResult:
+        result = ScalingResult(settings=ctx.settings, core_counts=core_counts,
+                               configs=configs, scenarios=scenarios)
+        for scenario in scenarios:
+            result.throughput[scenario] = {config: {} for config in configs}
+        for cores in core_counts:
+            geometry = None
+            for config in configs:
+                for scenario in scenarios:
+                    cell_runs = ctx.runs(config, scenario, cores=cores)
+                    if geometry is None:
+                        net = cell_runs[0].config.interconnect
+                        geometry = f"{net.mesh_width}x{net.mesh_height}"
+                    result.throughput[scenario][config][cores] = \
+                        ctx.mean_metric("throughput_ikc", config, scenario,
+                                        cores=cores)
+                    label = f"{scenario} @ {geometry} ({cores}c)"
+                    result.breakdowns.setdefault(label, {})[config] = \
+                        mean_breakdown_pct(cell_runs, BREAKDOWN_COMPONENTS)
+        result.report = ctx.report
+        return result
+
+    def _tabulate(result: ScalingResult) -> List[StudyTable]:
+        curve_rows = []
+        for scenario in result.scenarios:
+            for config in result.configs:
+                normalized = result.normalized(scenario, config)
+                for cores in result.core_counts:
+                    curve_rows.append(
+                        [scenario, config, cores,
+                         result.throughput[scenario][config][cores],
+                         normalized[cores]])
+        curves = StudyTable(
+            "throughput_scaling",
+            ("scenario", "config", "cores", "throughput_ikc", "normalized"),
+            curve_rows)
+        return [curves] + breakdown_tables(result.breakdowns,
+                                           "stall_attribution",
+                                           key_column="geometry")
+
+    return StudySpec(
+        name="scaling",
+        title="Machine scaling: normalized throughput and stalls, 4-64 cores",
+        configs=configs,
+        workloads=scenarios,
+        core_counts=core_counts,
+        build=_build,
+        tabulate=_tabulate,
+    )
 
 
-def _mean_breakdown(runs: Sequence[RunResult]) -> Dict[str, float]:
-    """Mean normalized stall breakdown (percent) over seed repetitions."""
-    combined = {name: 0.0 for name in BREAKDOWN_COMPONENTS}
-    for run in runs:
-        for name, value in run.breakdown(normalize=True).items():
-            combined[name] += 100.0 * value / len(runs)
-    return combined
+SCALING_STUDY = register_study(scaling_study())
 
 
 def run_scaling(settings: Optional[ExperimentSettings] = None,
@@ -128,37 +175,5 @@ def run_scaling(settings: Optional[ExperimentSettings] = None,
     against the shared result cache, so serial and parallel sweeps produce
     byte-identical tables and cache entries.
     """
-    settings = settings or ExperimentSettings()
-    core_counts = tuple(sorted(core_counts))
-    result = ScalingResult(settings=settings, core_counts=core_counts,
-                           configs=tuple(configs), scenarios=tuple(scenarios))
-    for scenario in result.scenarios:
-        result.throughput[scenario] = {config: {} for config in result.configs}
-
-    for cores in core_counts:
-        scaled = dataclasses.replace(settings, num_cores=cores)
-        executor = CampaignExecutor(scaled, jobs=jobs, cache=cache)
-        cells = expand_jobs(result.configs, result.scenarios, settings.seeds)
-        runs = executor.run(cells)
-        by_cell: Dict[Tuple[str, str], List[RunResult]] = {}
-        for job, run in zip(cells, runs):
-            by_cell.setdefault((job.config_name, job.workload), []).append(run)
-
-        geometry = None
-        for config in result.configs:
-            for scenario in result.scenarios:
-                cell_runs = by_cell[(config, scenario)]
-                if geometry is None:
-                    net = cell_runs[0].config.interconnect
-                    geometry = f"{net.mesh_width}x{net.mesh_height}"
-                result.throughput[scenario][config][cores] = _throughput(cell_runs)
-                label = f"{scenario} @ {geometry} ({cores}c)"
-                result.breakdowns.setdefault(label, {})[config] = \
-                    _mean_breakdown(cell_runs)
-
-        tally = executor.last_report
-        result.report.total += tally.total
-        result.report.simulated += tally.simulated
-        result.report.cache_hits += tally.cache_hits
-        result.report.deduplicated += tally.deduplicated
-    return result
+    return run_study(scaling_study(core_counts, configs, scenarios),
+                     settings, jobs=jobs, cache=cache)

@@ -3,7 +3,7 @@
 The paper's per-workload figures average each workload's behaviour over
 its whole sample; phase-structured scenarios make the *within-run*
 variation visible instead.  For every scenario and machine configuration
-this driver reports the Figure-9-style stall taxonomy separately for each
+this study reports the Figure-9-style stall taxonomy separately for each
 phase (as a percentage of that phase's own accounted cycles), so e.g. a
 barrier phase's SB-drain spike or a false-sharing phase's violation
 cycles are not averaged away by the surrounding phases.
@@ -14,11 +14,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
-from ..campaign.jobs import Job
 from ..cpu.stats import BREAKDOWN_COMPONENTS
 from ..stats.phases import phase_breakdown
 from ..stats.report import format_breakdown_table
+from ..studies.registry import register_study
+from ..studies.runner import StudyContext, run_study
+from ..studies.spec import StudySpec, WorkloadAxis
 from .common import ExperimentRunner, ExperimentSettings
+from .figure9 import breakdown_tables
 
 #: Configurations compared per phase: the three conventional baselines'
 #: worst offender, plus the speculative variants the paper centres on.
@@ -41,6 +44,54 @@ class ScenarioFigureResult:
                   "accounted cycles")
 
 
+def _live_scenarios(settings: ExperimentSettings) -> Tuple[str, ...]:
+    """The registered scenario catalogue (resolved at expansion time)."""
+    from ..scenarios.registry import scenario_names
+
+    return tuple(scenario_names())
+
+
+def scenario_study(configs: Sequence[str] = SCENARIO_CONFIGS,
+                   scenarios: WorkloadAxis = _live_scenarios) -> StudySpec:
+    """Declare the per-phase scenario figure as a study.
+
+    ``scenarios`` is the workload axis: defaults to the live scenario
+    registry; ``None`` means the experiment settings' workload list (the
+    facade uses that for its historical default).
+    """
+    configs = tuple(configs)
+
+    def _build(ctx: StudyContext) -> ScenarioFigureResult:
+        scenarios_resolved = ctx.spec.resolve_workloads(ctx.settings)
+        result = ScenarioFigureResult(settings=ctx.settings, configs=configs)
+        for scenario in scenarios_resolved:
+            per_phase: Dict[str, Dict[str, Dict[str, float]]] = {}
+            for config in configs:
+                runs = ctx.runs(config, scenario)
+                for run in runs:
+                    for label, values in phase_breakdown(run).items():
+                        key = f"{scenario}/{label}"
+                        bucket = per_phase.setdefault(key, {}).setdefault(
+                            config, {name: 0.0 for name in BREAKDOWN_COMPONENTS})
+                        for name in BREAKDOWN_COMPONENTS:
+                            bucket[name] += values[name] / len(runs)
+            result.breakdowns.update(per_phase)
+        return result
+
+    return StudySpec(
+        name="scenarios",
+        title="Per-phase stall breakdowns across scenarios and configs",
+        configs=configs,
+        workloads=scenarios,
+        build=_build,
+        tabulate=lambda result: breakdown_tables(result.breakdowns,
+                                                 "phase_breakdown"),
+    )
+
+
+SCENARIOS_STUDY = register_study(scenario_study())
+
+
 def run_scenarios(settings: Optional[ExperimentSettings] = None,
                   runner: Optional[ExperimentRunner] = None,
                   scenarios: Optional[Sequence[str]] = None,
@@ -54,26 +105,6 @@ def run_scenarios(settings: Optional[ExperimentSettings] = None,
     from ..scenarios.registry import scenario_names
 
     settings = settings or ExperimentSettings(workloads=tuple(scenario_names()))
-    runner = runner or ExperimentRunner(settings)
-    scenarios = tuple(scenarios) if scenarios is not None else settings.workloads
-    result = ScenarioFigureResult(settings=settings, configs=tuple(configs))
-
-    jobs = [Job(config, scenario, seed)
-            for config in configs
-            for scenario in scenarios
-            for seed in settings.seeds]
-    runner.run_jobs(jobs)  # one campaign fan-out; the loops below hit memo
-
-    for scenario in scenarios:
-        per_phase: Dict[str, Dict[str, Dict[str, float]]] = {}
-        for config in configs:
-            runs = runner.run_all_seeds(config, scenario)
-            for run in runs:
-                for label, values in phase_breakdown(run).items():
-                    key = f"{scenario}/{label}"
-                    bucket = per_phase.setdefault(key, {}).setdefault(
-                        config, {name: 0.0 for name in BREAKDOWN_COMPONENTS})
-                    for name in BREAKDOWN_COMPONENTS:
-                        bucket[name] += values[name] / len(runs)
-        result.breakdowns.update(per_phase)
-    return result
+    axis = tuple(scenarios) if scenarios is not None else None
+    return run_study(scenario_study(configs, scenarios=axis),
+                     settings, runner=runner)

@@ -1,0 +1,96 @@
+"""Structured study artifacts: one JSON + one CSV per study under ``results/``.
+
+Every study emits machine-readable artifacts alongside its text table:
+
+* ``results/<study>.json`` -- schema-versioned document with the study
+  name/title, the exact :class:`ExperimentSettings` the grid ran at, and
+  every table as ``{"name", "columns", "rows"}``;
+* ``results/<study>.csv`` -- the same rows flattened, with a leading
+  ``table`` column so multi-table studies (e.g. scaling's throughput
+  curves plus stall attribution) stay one file.
+
+Artifacts are regenerated output (gitignored); ``EXPERIMENTS.md``
+documents how to rebuild them.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple, TYPE_CHECKING, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..experiments.common import ExperimentSettings
+    from .spec import StudySpec
+
+#: bump on any change to the JSON artifact layout.
+ARTIFACT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class StudyTable:
+    """One flat table of a study's results."""
+
+    name: str
+    columns: Tuple[str, ...]
+    rows: List[List[Any]]
+
+    def __post_init__(self) -> None:
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise ValueError(
+                    f"table {self.name!r}: row of width {len(row)} does not "
+                    f"match {len(self.columns)} columns")
+
+
+def study_payload(spec: "StudySpec", settings: "ExperimentSettings",
+                  tables: Sequence[StudyTable]) -> Dict[str, Any]:
+    """The JSON artifact document for one executed study."""
+    return {
+        "schema": ARTIFACT_SCHEMA_VERSION,
+        "study": spec.name,
+        "title": spec.title,
+        "settings": dataclasses.asdict(settings),
+        "grid": {
+            "configs": list(spec.configs),
+            "workloads": list(spec.resolve_workloads(settings)),
+            "seeds": list(spec.resolve_seeds(settings)),
+            "core_counts": list(spec.resolve_core_counts(settings)),
+        },
+        "tables": [{"name": table.name, "columns": list(table.columns),
+                    "rows": table.rows} for table in tables],
+    }
+
+
+def write_artifacts(spec: "StudySpec", settings: "ExperimentSettings",
+                    tables: Sequence[StudyTable],
+                    out_dir: Union[str, Path] = Path("results"),
+                    ) -> Tuple[Path, Path]:
+    """Write ``<out_dir>/<study>.json`` and ``.csv``; returns both paths."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    json_path = out / f"{spec.name}.json"
+    csv_path = out / f"{spec.name}.csv"
+
+    payload = study_payload(spec, settings, tables)
+    json_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                         encoding="utf-8")
+
+    with open(csv_path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        columns = ["table"]
+        for table in tables:
+            for column in table.columns:
+                if column not in columns:
+                    columns.append(column)
+        writer.writerow(columns)
+        for table in tables:
+            index = {column: i for i, column in enumerate(table.columns)}
+            for row in table.rows:
+                writer.writerow([table.name] + [
+                    row[index[column]] if column in index else ""
+                    for column in columns[1:]])
+    return json_path, csv_path

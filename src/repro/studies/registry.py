@@ -1,0 +1,68 @@
+"""Registry of named studies.
+
+The experiment modules register their :class:`StudySpec` declarations
+here at import time (importing :mod:`repro.experiments` populates the
+catalogue); ``repro study list|run`` and ``results/run_all_figures.py``
+operate on the registry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from ..errors import StudyError
+from .spec import StudySpec
+
+
+class StudyRegistry:
+    """Mapping of study names to specs, in registration order."""
+
+    def __init__(self) -> None:
+        self._studies: Dict[str, StudySpec] = {}
+
+    def register(self, spec: StudySpec) -> StudySpec:
+        if not spec.name:
+            raise StudyError("study name must be non-empty")
+        if spec.name in self._studies:
+            raise StudyError(f"study {spec.name!r} is already registered")
+        self._studies[spec.name] = spec
+        return spec
+
+    def unregister(self, name: str) -> None:
+        """Remove a registration (mainly for tests)."""
+        if name not in self._studies:
+            raise StudyError(f"study {name!r} is not registered")
+        del self._studies[name]
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._studies)
+
+    def specs(self) -> Tuple[StudySpec, ...]:
+        return tuple(self._studies.values())
+
+    def get(self, name: str) -> StudySpec:
+        try:
+            return self._studies[name]
+        except KeyError:
+            raise StudyError(
+                f"unknown study {name!r}; known: {', '.join(self.names())}"
+            ) from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._studies
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._studies)
+
+    def __len__(self) -> int:
+        return len(self._studies)
+
+
+#: The catalogue used by the CLI and ``run_all_figures.py``; populated by
+#: the :mod:`repro.experiments` modules at import time.
+DEFAULT_STUDY_REGISTRY = StudyRegistry()
+
+
+def register_study(spec: StudySpec) -> StudySpec:
+    """Register ``spec`` in :data:`DEFAULT_STUDY_REGISTRY` (and return it)."""
+    return DEFAULT_STUDY_REGISTRY.register(spec)

@@ -49,6 +49,14 @@ class TestBenchReport:
         assert campaign["cold_seconds"] > 0
         assert campaign["cached_seconds"] > 0
 
+    def test_studies_plan_timed(self, report):
+        """Schema v3: the unified all-studies plan is timed cold vs cached."""
+        studies = report["studies"]
+        assert studies["studies"] >= 10
+        assert studies["cells"] > studies["unique_jobs"] > 0
+        assert studies["cold_seconds"] > 0
+        assert studies["cached_seconds"] > 0
+
     def test_round_trips_through_disk(self, report, tmp_path):
         path = tmp_path / "BENCH_kernel.json"
         write_report(report, path)

@@ -1,0 +1,103 @@
+"""Golden-table regression tests for every experiment driver.
+
+The golden files under ``tests/golden/`` were captured from the driver
+``format()`` output *before* the experiments layer was ported onto the
+declarative study framework; these tests assert the ported drivers still
+reproduce that output byte-for-byte, at the miniature scales below.
+
+To regenerate after an intentional output change::
+
+    PYTHONPATH=src python tests/test_golden_tables.py --regen
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import (
+    ExperimentRunner,
+    ExperimentSettings,
+    run_cov_timeout_ablation,
+    run_figure1,
+    run_figure8,
+    run_figure9,
+    run_figure10,
+    run_figure11,
+    run_figure12,
+    run_scaling,
+    run_scenarios,
+    run_store_buffer_ablation,
+)
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+#: Figures 1/8/9/10/11/12 and both ablations share one runner at this scale
+#: (two seeds so the mean-CI path is exercised, not just single-sample means).
+FIG_SETTINGS = ExperimentSettings.quick(num_cores=4, ops_per_thread=800,
+                                        seeds=(1, 2),
+                                        workloads=("apache", "barnes"))
+ABLATION_SIZES = (1, 4, 16)
+ABLATION_TIMEOUTS = (0, 2000)
+
+SCALING_SETTINGS = ExperimentSettings(num_cores=4, ops_per_thread=400,
+                                      seeds=(1,),
+                                      workloads=("false-sharing-storm",))
+SCALING_CORE_COUNTS = (2, 4)
+
+SCENARIO_SETTINGS = ExperimentSettings(
+    num_cores=4, ops_per_thread=800, seeds=(1,),
+    workloads=("handoff-pipeline", "false-sharing-storm"))
+
+
+def build_all_tables():
+    """Every driver's formatted output at the golden scales, as {name: text}."""
+    runner = ExperimentRunner(FIG_SETTINGS)
+    tables = {}
+    for name, run in [("figure1", run_figure1), ("figure8", run_figure8),
+                      ("figure9", run_figure9), ("figure10", run_figure10),
+                      ("figure11", run_figure11), ("figure12", run_figure12)]:
+        tables[name] = run(FIG_SETTINGS, runner).format()
+    tables["ablation_sb"] = run_store_buffer_ablation(
+        FIG_SETTINGS, workload="apache", sizes=ABLATION_SIZES,
+        runner=runner).format()
+    tables["ablation_cov"] = run_cov_timeout_ablation(
+        FIG_SETTINGS, workload="apache", timeouts=ABLATION_TIMEOUTS,
+        runner=runner).format()
+    tables["scaling"] = run_scaling(
+        SCALING_SETTINGS, core_counts=SCALING_CORE_COUNTS,
+        scenarios=SCALING_SETTINGS.workloads).format()
+    tables["scenarios"] = run_scenarios(
+        SCENARIO_SETTINGS, ExperimentRunner(SCENARIO_SETTINGS)).format()
+    return tables
+
+
+DRIVERS = ("figure1", "figure8", "figure9", "figure10", "figure11", "figure12",
+           "ablation_sb", "ablation_cov", "scaling", "scenarios")
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return build_all_tables()
+
+
+@pytest.mark.parametrize("name", DRIVERS)
+def test_driver_output_matches_golden(tables, name):
+    golden = (GOLDEN_DIR / f"{name}.txt").read_text(encoding="utf-8")
+    assert tables[name] == golden, (
+        f"{name} format() output changed; if intentional, regenerate with "
+        f"'PYTHONPATH=src python tests/test_golden_tables.py --regen'")
+
+
+def _regen():
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for name, text in build_all_tables().items():
+        path = GOLDEN_DIR / f"{name}.txt"
+        path.write_text(text, encoding="utf-8")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    if "--regen" not in sys.argv[1:]:
+        sys.exit("usage: python tests/test_golden_tables.py --regen")
+    _regen()
