@@ -26,15 +26,23 @@ timing (the minimum is robust against scheduler noise):
   executed cold (every unique cell simulated) and then cached (every
   cell a disk hit), so a regression in the study/plan/cache plumbing
   shows up even when the kernel itself is healthy.
+* **batch** -- the vectorized batch tier on its showcase cell: the ``sc``
+  kernel at one core on a quiescence-heavy cache-resident workload
+  (:data:`BATCH_WORKLOAD`), timed at each lane width in
+  :data:`BATCH_WIDTHS` under both ``fast`` and ``batch`` engines (byte
+  identity re-asserted on every pair), plus the all-studies plan
+  executed cold under ``engine="batch"`` -- the hostile direction, where
+  the adaptive opt-out must keep batch within noise of fast.
 
-Output schema (``BENCH_kernel.json``, version 3; v2 lacked the
-``studies`` section, v1 also lacked ``geometries`` and the
-``geometry_cores`` preset field)::
+Output schema (``BENCH_kernel.json``, version 4; v3 lacked the ``batch``
+section and the ``batch_ops_per_thread`` preset field, v2 lacked
+``studies``, v1 also lacked ``geometries`` and ``geometry_cores``)::
 
     {
-      "schema": 3,
+      "schema": 4,
       "preset": {"name", "workload", "num_cores", "ops_per_thread",
-                 "seed", "repeats", "engine", "geometry_cores"},
+                 "seed", "repeats", "engine", "geometry_cores",
+                 "batch_ops_per_thread"},
       "kernels": [{"config", "total_ops", "runtime_cycles",
                    "events_processed", "best_seconds", "ops_per_sec"}],
       "campaign": {"cells", "cold_seconds", "cached_seconds",
@@ -44,14 +52,20 @@ Output schema (``BENCH_kernel.json``, version 3; v2 lacked the
       "geometries": [{"num_cores", "mesh", "total_ops",
                       "best_seconds", "ops_per_sec"}],
       "studies": {"studies", "cells", "unique_jobs", "cold_seconds",
-                  "cached_seconds", "cached_speedup"}
+                  "cached_seconds", "cached_speedup"},
+      "batch": {"workload", "config", "num_cores", "ops_per_thread",
+                "widths": [{"width", "total_ops", "identical",
+                            "fast_seconds", "fast_ops_per_sec",
+                            "batch_seconds", "batch_ops_per_sec",
+                            "speedup"}],
+                "studies_cold_seconds"}
     }
 
 ``ops_per_sec`` is trace operations simulated (or spliced) per second of
-wall clock.  :func:`check_against_baseline` compares the per-kernel and
-per-geometry ``ops_per_sec`` of a fresh report against a committed
-baseline file and reports regressions beyond a tolerance; the CI ``bench``
-job fails on it.
+wall clock.  :func:`check_against_baseline` compares the per-kernel,
+per-geometry, and per-batch-width ``ops_per_sec`` of a fresh report
+against a committed baseline file and reports regressions beyond a
+tolerance; the CI ``bench`` job fails on it.
 """
 
 from __future__ import annotations
@@ -63,18 +77,41 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Tuple
 
 from ..campaign import CampaignExecutor, Job, ResultCache
+from ..engine.batch.lanes import simulate_batch
 from ..engine.simulator import simulate
 from ..experiments.common import ExperimentSettings, make_config
 from ..workloads.registry import build_trace
+from ..workloads.spec import WorkloadSpec
 
 #: bump on any change to the report layout so stale baselines are rejected.
-BENCH_SCHEMA_VERSION = 3
+BENCH_SCHEMA_VERSION = 4
 
 #: configuration short-names covering the three controller kinds.
 KERNEL_CONFIGS = ("sc", "invisi_sc", "invisi_cont")
 
 #: scenario used for the splicing benchmark.
 SCENARIO_NAME = "false-sharing-storm"
+
+#: lane widths timed by the batch section.
+BATCH_WIDTHS = (1, 3, 8)
+
+#: The batch section's showcase workload: long compute/hit runs with a
+#: cache-resident footprint, so most of the trace retires as vectorized
+#: quiescent stretches.  The preset workloads deliberately stress misses
+#: and contention; this one represents the quiescence-heavy cells the
+#: batch tier exists for.
+BATCH_WORKLOAD = WorkloadSpec(
+    name="quiescent",
+    description="quiescence-heavy cache-resident kernel (batch showcase)",
+    load_fraction=0.45, store_fraction=0.15, compute_fraction=0.40,
+    compute_run_mean=2.0,
+    sync_interval=1_000_000.0, critical_section_len=1.0,
+    num_locks=4, blocks_per_lock=1, lock_affinity=1.0,
+    private_blocks=192, shared_blocks=256, shared_fraction=0.02,
+    locality=0.995, reuse_window=64,
+    store_burst_prob=0.0, migratory_fraction=0.0,
+    lockfree_atomic_prob=0.0,
+)
 
 
 @dataclass(frozen=True)
@@ -90,12 +127,17 @@ class BenchPreset:
     engine: str = "fast"
     #: machine sizes timed by the per-geometry section.
     geometry_cores: Tuple[int, ...] = (4, 8, 16)
+    #: ops per thread for the batch section's showcase cell (longer than
+    #: the kernel section so the lane's static passes amortize the way
+    #: they do in real campaigns).
+    batch_ops_per_thread: int = 16000
 
     @classmethod
     def small(cls, engine: str = "fast") -> "BenchPreset":
         """CI-sized preset: fast enough for a smoke job."""
         return cls(name="small", num_cores=2, ops_per_thread=400, repeats=2,
-                   engine=engine, geometry_cores=(2, 4))
+                   engine=engine, geometry_cores=(2, 4),
+                   batch_ops_per_thread=4000)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -107,6 +149,7 @@ class BenchPreset:
             "repeats": self.repeats,
             "engine": self.engine,
             "geometry_cores": list(self.geometry_cores),
+            "batch_ops_per_thread": self.batch_ops_per_thread,
         }
 
 
@@ -221,6 +264,82 @@ def _bench_studies(preset: BenchPreset, settings: ExperimentSettings,
     }
 
 
+def _bench_batch(preset: BenchPreset) -> Dict[str, Any]:
+    """Time the batch tier against the fast kernel on its showcase cell.
+
+    One ``sc`` core running :data:`BATCH_WORKLOAD`: quiescent stretches
+    dominate, so this is where the vectorized tier's speedup lives (its
+    hostile direction -- dense multicore event traffic -- is covered by
+    ``studies_cold_seconds``, which runs the whole heterogeneous study
+    plan under ``engine="batch"``; the adaptive opt-out keeps that within
+    noise of fast).  Byte identity is asserted on every timed pair, so the
+    bench doubles as an end-to-end differential check at real scale.
+    """
+    ops = preset.batch_ops_per_thread
+    settings = ExperimentSettings(
+        num_cores=1, ops_per_thread=ops, seeds=(preset.seed,),
+        warmup_fraction=0.2)
+    config = make_config("sc", settings)
+    traces = [build_trace(BATCH_WORKLOAD, num_threads=1, ops_per_thread=ops,
+                          seed=preset.seed + i)
+              for i in range(max(BATCH_WIDTHS))]
+    for trace in traces:
+        # Warm the compile/array caches: both engines reuse them, and the
+        # section times steady-state simulation, not trace building.
+        trace[0].compiled().arrays()
+
+    widths: List[Dict[str, Any]] = []
+    for width in BATCH_WIDTHS:
+        lane = traces[:width]
+        fast_best, fast_results = _best_of(
+            preset.repeats,
+            lambda: [simulate(config, trace, warmup_fraction=0.2,
+                              engine="fast") for trace in lane])
+        batch_best, batch_results = _best_of(
+            preset.repeats,
+            lambda: simulate_batch(config, lane, warmup_fraction=0.2))
+        identical = all(a.to_json() == b.to_json()
+                        for a, b in zip(fast_results, batch_results))
+        total_ops = width * ops
+        widths.append({
+            "width": width,
+            "total_ops": total_ops,
+            "identical": identical,
+            "fast_seconds": fast_best,
+            "fast_ops_per_sec": total_ops / fast_best if fast_best > 0 else 0.0,
+            "batch_seconds": batch_best,
+            "batch_ops_per_sec": total_ops / batch_best
+            if batch_best > 0 else 0.0,
+            "speedup": fast_best / batch_best if batch_best > 0 else 0.0,
+        })
+
+    # The hostile direction: the full heterogeneous study plan (multicore,
+    # contention-heavy cells) executed cold with the batch engine.
+    from ..experiments.scaling import scaling_study
+    from ..studies import DEFAULT_STUDY_REGISTRY, compile_plan
+
+    plan_settings = ExperimentSettings(
+        num_cores=preset.num_cores, ops_per_thread=preset.ops_per_thread,
+        seeds=(preset.seed,), workloads=(preset.workload,),
+        warmup_fraction=0.0)
+    specs = [scaling_study(core_counts=preset.geometry_cores)
+             if spec.name == "scaling" else spec
+             for spec in DEFAULT_STUDY_REGISTRY.specs()]
+    plan = compile_plan(specs, plan_settings)
+    start = time.perf_counter()
+    plan.execute(plan.runner(jobs=1, cache=None, engine="batch"))
+    studies_cold = time.perf_counter() - start
+
+    return {
+        "workload": BATCH_WORKLOAD.name,
+        "config": "sc",
+        "num_cores": 1,
+        "ops_per_thread": ops,
+        "widths": widths,
+        "studies_cold_seconds": studies_cold,
+    }
+
+
 def _bench_scenario(preset: BenchPreset) -> Dict[str, Any]:
     best, trace = _best_of(
         preset.repeats,
@@ -255,6 +374,7 @@ def run_bench(preset: BenchPreset, cache_dir: Path) -> Dict[str, Any]:
         "scenario": _bench_scenario(preset),
         "geometries": _bench_geometries(preset),
         "studies": _bench_studies(preset, settings, cache_dir),
+        "batch": _bench_batch(preset),
     }
 
 
@@ -295,6 +415,19 @@ def format_bench_report(report: Dict[str, Any]) -> str:
             f"cold {studies['cold_seconds'] * 1000:.1f} ms, cached "
             f"{studies['cached_seconds'] * 1000:.1f} ms "
             f"({studies['cached_speedup']:.1f}x)")
+    batch = report.get("batch")
+    if batch:
+        for width in batch["widths"]:
+            check = "" if width["identical"] else "  IDENTITY MISMATCH"
+            lines.append(
+                f"  batch width {width['width']:>2} "
+                f"({batch['config']} 1-core {batch['workload']}): "
+                f"{width['batch_ops_per_sec']:>12,.0f} ops/s vs fast "
+                f"{width['fast_ops_per_sec']:>12,.0f} "
+                f"({width['speedup']:.2f}x){check}")
+        lines.append(
+            f"  batch all-studies cold: "
+            f"{batch['studies_cold_seconds'] * 1000:.1f} ms")
     return "\n".join(lines)
 
 
@@ -316,7 +449,7 @@ def check_against_baseline(report: Dict[str, Any], baseline: Dict[str, Any],
     report_preset = report.get("preset", {})
     baseline_preset = baseline.get("preset", {})
     for field in ("engine", "workload", "num_cores", "ops_per_thread", "seed",
-                  "geometry_cores"):
+                  "geometry_cores", "batch_ops_per_thread"):
         if report_preset.get(field) != baseline_preset.get(field):
             failures.append(
                 f"preset mismatch on {field!r}: report "
@@ -350,6 +483,25 @@ def check_against_baseline(report: Dict[str, Any], baseline: Dict[str, Any],
             failures.append(f"geometry {cores} cores: missing from baseline")
             continue
         compare("geometry", geometry, base, f"{cores} cores")
+    base_widths = {w["width"]: w for w in
+                   baseline.get("batch", {}).get("widths", [])}
+    for width in report.get("batch", {}).get("widths", []):
+        if not width["identical"]:
+            failures.append(
+                f"batch width {width['width']}: batch and fast results "
+                f"are not byte-identical")
+        base = base_widths.get(width["width"])
+        if base is None:
+            failures.append(
+                f"batch width {width['width']}: missing from baseline")
+            continue
+        floor = base["batch_ops_per_sec"] * (1.0 - tolerance)
+        if width["batch_ops_per_sec"] < floor:
+            failures.append(
+                f"batch width {width['width']}: "
+                f"{width['batch_ops_per_sec']:,.0f} ops/s is below "
+                f"{floor:,.0f} (baseline {base['batch_ops_per_sec']:,.0f} "
+                f"- {tolerance:.0%} tolerance)")
     return failures
 
 

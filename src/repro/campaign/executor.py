@@ -31,8 +31,10 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from ..config import SystemConfig
+from ..engine.batch.lanes import simulate_batch
 from ..engine.results import RunResult
 from ..engine.simulator import simulate
+from ..engine.system import validate_engine
 from ..trace.trace import MultiThreadedTrace
 from ..workloads.registry import build_trace, resolve_spec
 from .cache import ResultCache, cache_key
@@ -42,16 +44,30 @@ from .registry import DEFAULT_REGISTRY, ConfigRegistry
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..experiments.common import ExperimentSettings
 
-#: (config, scaled workload/scenario spec, seed, warmup_fraction) --
-#: everything a worker needs to simulate one cell, all cheaply picklable.
-_CellPayload = Tuple[SystemConfig, object, int, float]
+#: (config, scaled workload/scenario spec, seed, warmup_fraction, engine)
+#: -- everything a worker needs to simulate one cell, all cheaply picklable.
+_CellPayload = Tuple[SystemConfig, object, int, float, str]
+
+#: A whole same-config lane for the batch engine: (config, [(spec, seed)],
+#: warmup_fraction).  One worker simulates the lane so the vectorized
+#: static tables amortize across its runs.
+_LanePayload = Tuple[SystemConfig, List[Tuple[object, int]], float]
 
 
 def _simulate_cell(payload: _CellPayload) -> RunResult:
     """Worker entry point: build the trace and simulate one cell."""
-    config, spec, seed, warmup_fraction = payload
+    config, spec, seed, warmup_fraction, engine = payload
     trace = build_trace(spec, num_threads=config.num_cores, seed=seed)
-    return simulate(config, trace, warmup_fraction=warmup_fraction)
+    return simulate(config, trace, warmup_fraction=warmup_fraction,
+                    engine=engine)
+
+
+def _simulate_lane(payload: _LanePayload) -> List[RunResult]:
+    """Worker entry point: simulate one same-config lane with the batch tier."""
+    config, cells, warmup_fraction = payload
+    traces = [build_trace(spec, num_threads=config.num_cores, seed=seed)
+              for spec, seed in cells]
+    return simulate_batch(config, traces, warmup_fraction=warmup_fraction)
 
 
 @dataclass
@@ -75,13 +91,19 @@ class CampaignExecutor:
 
     def __init__(self, settings: "ExperimentSettings", jobs: int = 1,
                  cache: Optional[ResultCache] = None,
-                 registry: Optional[ConfigRegistry] = None) -> None:
+                 registry: Optional[ConfigRegistry] = None,
+                 engine: str = "fast") -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.settings = settings
         self.jobs = jobs
         self.cache = cache
         self.registry = registry if registry is not None else DEFAULT_REGISTRY
+        #: execution kernel for missing cells.  All engines produce
+        #: byte-identical results, so cache keys and entries are
+        #: engine-independent; under ``"batch"`` missing cells are grouped
+        #: into same-config lanes so the vectorized tables are shared.
+        self.engine = validate_engine(engine)
         self.last_report = CampaignReport()
         self._traces: Dict[Tuple[str, int, int], MultiThreadedTrace] = {}
 
@@ -120,7 +142,7 @@ class CampaignExecutor:
     def _payload(self, job: Job) -> _CellPayload:
         spec = resolve_spec(job.workload, self.settings.ops_per_thread)
         return (self.config_for(job), spec, job.seed,
-                self.settings.warmup_fraction)
+                self.settings.warmup_fraction, self.engine)
 
     # -- execution -----------------------------------------------------------
 
@@ -147,7 +169,9 @@ class CampaignExecutor:
         report.simulated = len(missing)
         if missing:
             workers = min(self.jobs, len(missing))
-            if workers > 1:
+            if self.engine == "batch":
+                simulated = self._run_lanes(missing, workers)
+            elif workers > 1:
                 payloads = [self._payload(job) for job in missing]
                 with multiprocessing.Pool(processes=workers) as pool:
                     simulated = pool.map(_simulate_cell, payloads, chunksize=1)
@@ -159,7 +183,8 @@ class CampaignExecutor:
                                            num_threads=config.num_cores)
                     simulated.append(
                         simulate(config, trace,
-                                 warmup_fraction=self.settings.warmup_fraction))
+                                 warmup_fraction=self.settings.warmup_fraction,
+                                 engine=self.engine))
             for job, result in zip(missing, simulated):
                 results[job] = result
                 if self.cache is not None:
@@ -167,3 +192,46 @@ class CampaignExecutor:
 
         self.last_report = report
         return [results[job] for job in jobs]
+
+    def _run_lanes(self, missing: Sequence[Job], workers: int) -> List[RunResult]:
+        """Simulate missing cells with the batch tier, laned by configuration.
+
+        Cells sharing a configuration form one lane: the batch engine
+        builds a single vectorized profile stack for the whole lane, so
+        its static passes amortize across every (workload, seed) in it.
+        Results come back in ``missing`` order, and because runs in a lane
+        share only immutable tables, they are byte-identical to per-cell
+        simulation at any lane width and under any grouping.
+        """
+        lanes: Dict[str, List[int]] = {}
+        for pos, job in enumerate(missing):
+            lanes.setdefault(job.config_name, []).append(pos)
+        results: List[Optional[RunResult]] = [None] * len(missing)
+        if workers > 1 and len(lanes) > 1:
+            payloads: List[_LanePayload] = []
+            for members in lanes.values():
+                config = self.config_for(missing[members[0]])
+                cells = [(resolve_spec(missing[pos].workload,
+                                       self.settings.ops_per_thread),
+                          missing[pos].seed) for pos in members]
+                payloads.append((config, cells,
+                                 self.settings.warmup_fraction))
+            with multiprocessing.Pool(
+                    processes=min(workers, len(lanes))) as pool:
+                lane_results = pool.map(_simulate_lane, payloads, chunksize=1)
+            for members, lane in zip(lanes.values(), lane_results):
+                for pos, result in zip(members, lane):
+                    results[pos] = result
+        else:
+            for members in lanes.values():
+                config = self.config_for(missing[members[0]])
+                traces = [self.trace_for(missing[pos].workload,
+                                         missing[pos].seed,
+                                         num_threads=config.num_cores)
+                          for pos in members]
+                lane = simulate_batch(
+                    config, traces,
+                    warmup_fraction=self.settings.warmup_fraction)
+                for pos, result in zip(members, lane):
+                    results[pos] = result
+        return results  # type: ignore[return-value]

@@ -313,6 +313,10 @@ def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
                         help="do not read or write the on-disk result cache")
     parser.add_argument("--cache-dir", type=str, default=str(DEFAULT_CACHE_DIR),
                         help=f"result cache directory (default: {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--engine", choices=list(ENGINE_KINDS), default="fast",
+                        help="execution kernel for missing cells; all engines "
+                             "produce byte-identical results and share cache "
+                             "entries (default: fast)")
 
 
 def _split(csv: str) -> tuple:
@@ -393,7 +397,8 @@ def _cmd_study_run(args: argparse.Namespace) -> int:
     # One deduplicated plan covers every requested study; shared cells
     # (e.g. the sc baseline) are simulated exactly once.
     plan = compile_plan(specs, settings)
-    study_runner = plan.runner(jobs=args.jobs, cache=cache)
+    study_runner = plan.runner(jobs=args.jobs, cache=cache,
+                               engine=args.engine)
     start = time.perf_counter()
     report = plan.execute(study_runner)
     elapsed = time.perf_counter() - start
@@ -439,7 +444,8 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
                                   seeds=(args.seed,), workloads=(args.name,),
                                   warmup_fraction=args.warmup)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    executor = CampaignExecutor(settings, jobs=args.jobs, cache=cache)
+    executor = CampaignExecutor(settings, jobs=args.jobs, cache=cache,
+                                engine=args.engine)
     cells = [Job(config, args.name, args.seed) for config in configs]
     results = executor.run(cells)
 
@@ -471,7 +477,8 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     settings = ExperimentSettings(num_cores=cores, ops_per_thread=ops,
                                   seeds=args.seeds, workloads=workloads)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    runner = ExperimentRunner(settings, jobs=args.jobs, cache=cache)
+    runner = ExperimentRunner(settings, jobs=args.jobs, cache=cache,
+                              engine=args.engine)
     runner.prefetch(_FIGURE_CONFIGS[args.number])
     result = _FIGURES[args.number](settings, runner)
     print(result.format())
@@ -499,7 +506,8 @@ def _cmd_figure_scaling(args: argparse.Namespace) -> int:
                                   workloads=scenarios)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     result = run_scaling(settings, core_counts=core_counts,
-                         scenarios=scenarios, jobs=args.jobs, cache=cache)
+                         scenarios=scenarios, jobs=args.jobs, cache=cache,
+                         engine=args.engine)
     print(result.format())
     print(f"[campaign] {result.report.describe(cache)}, --jobs {args.jobs}")
     return 0
@@ -518,7 +526,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                                   seeds=seeds, workloads=workloads,
                                   warmup_fraction=args.warmup)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    executor = CampaignExecutor(settings, jobs=args.jobs, cache=cache)
+    executor = CampaignExecutor(settings, jobs=args.jobs, cache=cache,
+                                engine=args.engine)
     cells = expand_jobs(configs, workloads, seeds)
 
     start = time.perf_counter()

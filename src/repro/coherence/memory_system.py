@@ -76,6 +76,13 @@ class MemorySystem:
         #: when False they always decline, forcing every access down the
         #: reference path through :meth:`access`.
         self._fast = fast_path
+        #: optional ``fn(core_id, block_addr, code)`` called whenever a
+        #: coherence transaction changes an L1 block's state from outside
+        #: the plain hit path (install / downgrade / invalidate / evict).
+        #: Codes: 0 = invalid or absent, 1 = SHARED, 2 = MODIFIED/EXCLUSIVE.
+        #: The batch engine keeps its packed residency tables fresh with
+        #: this; when unset (the default) the hook costs one None check.
+        self._state_watcher = None
         self.transactions: List[TransactionRecord] = []
         # simple per-core counters
         self.l1_hits = [0] * config.num_cores
@@ -122,6 +129,10 @@ class MemorySystem:
     def register_listener(self, core_id: int, listener: ExternalConflictListener) -> None:
         """Register the consistency controller responsible for ``core_id``."""
         self._listeners[core_id] = listener
+
+    def set_state_watcher(self, watcher) -> None:
+        """Install the L1 state-change hook (see ``_state_watcher``)."""
+        self._state_watcher = watcher
 
     def _block(self, addr: int) -> int:
         return addr & self._block_mask
@@ -302,6 +313,10 @@ class MemorySystem:
         forced_delay = self._prepare_l1_fill(core_id, baddr, now)
         completion += forced_delay
         block = self._l1s[core_id].install(baddr, new_state, dirty=is_write)
+        if self._state_watcher is not None:
+            self._state_watcher(
+                core_id, baddr,
+                1 if new_state is CoherenceState.SHARED else 2)
         if spec_checkpoint is not None:
             if is_write:
                 block.mark_spec_written(spec_checkpoint)
@@ -355,6 +370,8 @@ class MemorySystem:
             else:
                 owner_block.state = CoherenceState.SHARED
                 owner_block.dirty = False
+            if self._state_watcher is not None:
+                self._state_watcher(owner, baddr, 0 if is_write else 1)
         # The owner's (pre-speculative) data is written back to the L2.
         self._l2.install_dirty(baddr)
         l2_hit = True
@@ -388,6 +405,8 @@ class MemorySystem:
                         record.conflicts.append(sharer)
                         record.deferred_cycles = max(record.deferred_cycles, delay)
                 sharer_block.invalidate()
+                if self._state_watcher is not None:
+                    self._state_watcher(sharer, baddr, 0)
             worst = max(worst, ack)
         return worst
 
@@ -427,6 +446,8 @@ class MemorySystem:
 
     def _evict(self, core_id: int, victim, needs_writeback: bool) -> None:
         """Update directory/L2 state when an L1 block is evicted."""
+        if self._state_watcher is not None:
+            self._state_watcher(core_id, victim.address, 0)
         entry = self._directory.peek(victim.address)
         if entry is not None:
             entry.sharers.discard(core_id)

@@ -1,0 +1,22 @@
+"""The batch execution tier (``engine="batch"``).
+
+Advances many runs at once: a campaign cell's (workload, seed) axis is
+stacked into 2-D numpy arrays (one row per (run, core) stream), per-row
+static tables are precomputed in single vectorized passes, and each
+core's step event retires entire *quiescent stretches* -- runs of ops
+that are guaranteed L1 hits with an empty store buffer and no earlier
+pending heap event -- as array operations, falling back to the exact
+fast kernel at every interesting event.  Results are byte-identical to
+``engine="fast"`` (see ``tests/test_differential.py``).
+"""
+
+from .core import BatchCore
+from .lanes import simulate_batch
+from .profile import LaneProfiles, build_lane_profiles
+
+__all__ = [
+    "BatchCore",
+    "LaneProfiles",
+    "build_lane_profiles",
+    "simulate_batch",
+]

@@ -1,0 +1,445 @@
+"""The batch core: bulk retirement of quiescent stretches.
+
+:class:`BatchCore` extends the fast kernel's run-until-interesting loop
+(:meth:`repro.cpu.core.Core._step_fast`) with one extra move: before
+processing the op at the current index through the controller, it tries
+to retire a whole *stretch* of upcoming ops as array operations.
+
+A stretch is sound exactly when, op by op, the exact kernel would have
+taken nothing but its constant-latency hit paths.  The preconditions:
+
+* the store buffer is empty at stretch entry (O(1) ``is_empty``);
+* every op up to the stretch end is a COMPUTE, a FENCE, a LOAD whose
+  block is resident in any valid state, or a STORE whose block is held
+  MODIFIED/EXCLUSIVE -- checked by one gather against the lane's packed
+  residency table, which coherence keeps fresh via the memory system's
+  state watcher;
+* no ATOMIC (those drain/stall by rule), no trace end, no warmup or
+  phase boundary, no inline-budget exhaustion inside the stretch;
+* the FIFO store buffer never fills inside the stretch (vectorized
+  occupancy check over the stretch's store times);
+* every op but the last finishes strictly before the next pending heap
+  event -- the same exactness condition the fast kernel applies per op,
+  found here with one ``searchsorted`` over the stretch's finish times.
+
+Everything the exact kernel would have mutated is then committed in
+closed form: counter deltas from prefix-sum differences, the event
+queue's clock/processed count via ``note_inline_bulk``, LRU timestamps
+from last-touch positions, stored blocks to MODIFIED/dirty, and the FIFO
+buffer's physical entry list rebuilt to exactly what purge-on-insert
+would have left.  If any precondition fails the op is handed to the
+controller unchanged, so every interesting event (miss, upgrade,
+SB-full, atomic, trace end) runs the exact fast kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ...memory.block import CoherenceState
+from ...config import SystemConfig
+from ...cpu.core import _MAX_INLINE_BATCH, Core
+from ...cpu.store_buffer import StoreBufferEntry
+from ...errors import SimulationError
+from ...trace.trace import Trace
+from .profile import RowProfile
+
+#: Below this many ops, fixed numpy overhead beats the saved per-op work;
+#: the exact kernel is used instead.  Correctness never depends on this.
+_MIN_STRETCH = 4
+#: Cap on ops examined per bulk attempt; longer runs simply take another
+#: bulk step on the next loop iteration.
+_MAX_STRETCH = 512
+#: Adaptive opt-out: after this many bulk attempts, a core whose mean
+#: retired-ops-per-attempt is below :data:`_MIN_GAIN` stops attempting
+#: and runs the plain fast kernel.  Cores in lockstep leapfrog (dense
+#: multicore event traffic) have tiny quiescent windows, and the attempt
+#: overhead would otherwise swamp the savings.  Purely local and
+#: deterministic, so results stay independent of lane width and order.
+_ADAPT_ATTEMPTS = 128
+_MIN_GAIN = 6
+
+
+class BatchCore(Core):
+    """A core that retires quiescent stretches as numpy array ops."""
+
+    def __init__(self, core_id: int, trace: Trace, config: SystemConfig,
+                 mem, events, warmup_ops: int = 0,
+                 phase_bounds: Optional[Sequence[int]] = None,
+                 profile: Optional[RowProfile] = None) -> None:
+        super().__init__(core_id, trace, config, mem, events,
+                         warmup_ops=warmup_ops, phase_bounds=phase_bounds,
+                         batching=True)
+        self._bp = profile
+        self._bulk_tries = 0
+        self._bulk_gain = 0
+
+    def _step_fast(self, now: int, generation: int) -> None:
+        """The fast kernel loop with a bulk attempt before each exact op."""
+        if generation != self._generation or self._finished:
+            return
+        assert self.controller is not None
+        process_op = self.controller.process_op
+        events = self.events
+        ops = self._ops
+        weights = self._instr_weights
+        trace_len = self._trace_len
+        stats = self.stats
+        budget = _MAX_INLINE_BATCH
+        cool = -1
+        bp = self._bp
+        if bp is not None and bp.length != trace_len:
+            # The trace was mutated after the lane stack was built; the
+            # static tables no longer line up, so run purely exact.
+            bp = self._bp = None
+        while True:
+            if not self._warmup_done or self._next_bound < len(self._inner_bounds):
+                self._pre_op()
+            index = self._index
+            if index >= trace_len:
+                wake = self._handle_trace_end(now)
+                if wake is None:
+                    return
+                head = events.next_time()
+                budget -= 1
+                limit = events.run_until
+                if budget > 0 and (head is None or head > wake) \
+                        and (limit is None or wake <= limit):
+                    events.note_inline(wake)
+                    now = wake
+                    continue
+                self._schedule_step(wake)
+                return
+            if bp is not None and budget >= _MIN_STRETCH and index >= cool:
+                bulk = self._bulk_advance(bp, index, now, budget)
+                tries = self._bulk_tries + 1
+                self._bulk_tries = tries
+                if bulk.__class__ is tuple:
+                    count, last, prev_last, head = bulk
+                    self._bulk_gain += count
+                    budget -= count
+                    limit = events.run_until
+                    if budget > 0 and (head is None or head > last) \
+                            and (limit is None or last <= limit):
+                        events.note_inline_bulk(last, count)
+                        now = last
+                        continue
+                    # The final op of the stretch hit the same boundary the
+                    # exact loop would have: account the first count-1 ops
+                    # inline and schedule the next step, exactly as the
+                    # per-op path does after processing the final op.
+                    events.note_inline_bulk(prev_last, count - 1)
+                    self._schedule_step(last)
+                    return
+                else:
+                    # Declined: the returned index is how far the decline
+                    # reason is pinned for the rest of this inline chain
+                    # (the heap head and residency only change across
+                    # chain boundaries), so skip futile re-attempts.
+                    cool = bulk
+                    if tries >= _ADAPT_ATTEMPTS \
+                            and self._bulk_gain < tries * _MIN_GAIN:
+                        bp = self._bp = None
+            finish = process_op(ops[index], now)
+            if finish < now:
+                raise SimulationError(
+                    f"controller returned a finish time in the past on core {self.core_id}"
+                )
+            self._index = index + 1
+            stats.instructions += weights[index]
+            heap = events._heap
+            if heap:
+                head_event = heap[0]
+                head = events.next_time() if head_event.cancelled \
+                    else head_event.time
+            else:
+                head = None
+            budget -= 1
+            limit = events.run_until
+            if budget > 0 and (head is None or head > finish) \
+                    and (limit is None or finish <= limit):
+                events.note_inline(finish)
+                now = finish
+                continue
+            self._schedule_step(finish)
+            return
+
+    def _bulk_advance(self, bp: RowProfile, k: int, now: int, budget: int):
+        """Try to retire a stretch starting at trace index ``k``.
+
+        Returns ``(count, last_finish, prev_finish, head)`` after applying
+        all side effects.  On decline it returns an *int*: the first trace
+        index at which re-attempting could succeed within the current
+        inline chain (the caller processes ops through the exact kernel
+        and skips bulk attempts until then).
+        """
+        # Static caps: next atomic (or padded trace end), warmup boundary,
+        # next phase boundary, the inline budget, and the attempt cap.
+        end = int(bp.next_break[k])
+        if not self._warmup_done and self.warmup_ops < end:
+            end = self.warmup_ops
+        next_bound = self._next_bound
+        if next_bound < len(self._inner_bounds):
+            bound = self._inner_bounds[next_bound]
+            if bound < end:
+                end = bound
+        count = end - k
+        if count < _MIN_STRETCH:
+            return end
+        if count > budget:
+            count = budget
+        if count > _MAX_STRETCH:
+            count = _MAX_STRETCH
+
+        b0 = bp.B0
+        base = now - int(b0[k])
+
+        # Stale store-buffer entries.  They are invisible to the stretch
+        # unless some op *observes* the buffer: a drain waits for their
+        # release (an extra stall ``delta`` that shifts every later op
+        # uniformly, leaving the in-stretch stall algebra intact), and a
+        # store must not insert before they have all released (purge
+        # order, FIFO release monotonicity, occupancy).
+        controller = self.controller
+        sb = controller.sb
+        delta = 0
+        obs_rel = 0
+        stale = sb._max_release
+        if stale > now:
+            if not bp.fifo:
+                # Coalescing entries coalesce with same-block stores; wait
+                # for the buffer to empty rather than model that.
+                return k + 1
+            obs = int(bp.next_obs[k])
+            if obs < k + count:
+                t_obs = int(b0[obs]) + base
+                if t_obs < stale:
+                    if bp.is_store[obs]:
+                        count = obs - k
+                        if count < _MIN_STRETCH:
+                            return k + 1
+                    else:
+                        delta = stale - t_obs
+                        obs_rel = obs - k
+
+        events = self.events
+        heap = events._heap
+        if heap:
+            head_event = heap[0]
+            head = events.next_time() if head_event.cancelled \
+                else head_event.time
+        else:
+            head = None
+        limit = events.run_until
+
+        # Cheap pre-cap before any gather: ``B0 + base`` is a lower bound
+        # on every finish time (stalls and ``delta`` only add), so a
+        # searchsorted over the static prefix bounds the feasible count.
+        if head is not None:
+            cap = int(b0[k + 1:k + count + 1].searchsorted(
+                head - base, side="left")) + 1
+            if cap < count:
+                count = cap
+            if count < _MIN_STRETCH:
+                # The head is fixed for the rest of this inline chain, and
+                # finish times only grow as the chain advances toward it.
+                return bp.length
+
+        # Residency: every load hits, every store has write permission.
+        # Only memory ops carry a requirement, so the gather runs over the
+        # packed per-row memory-op index (window selection by binary
+        # search over views, no boolean-mask copies).
+        j = k + count
+        mem_pos = bp.mem_pos
+        lo = int(mem_pos.searchsorted(k))
+        hi = int(mem_pos.searchsorted(j))
+        if lo < hi:
+            ok = bp.res[bp.mem_ids[lo:hi]] >= bp.mem_need[lo:hi]
+            if not ok.all():
+                bad = int(mem_pos[lo + int((~ok).argmax())])
+                count = bad - k
+                if count < _MIN_STRETCH:
+                    # Residency only changes across chain boundaries (our
+                    # own hits preserve state; misses break the chain).
+                    return bad + 1
+                j = k + count
+                hi = int(mem_pos.searchsorted(j))
+
+        # Finish times: durations plus real drain stalls.  Stalls whose
+        # referenced store precedes the stretch are bogus (the buffer is
+        # empty, or covered by ``delta``, at entry) and are clipped away
+        # against the S0 prefix at the first in-stretch store.  The finish
+        # of op ``k+i`` is ``base + B0[k+1+i] + max(0, S0[k+1+i] -
+        # stall_ref) (+ delta past the observing drain)``; it is needed in
+        # full only when the next heap event or the run horizon actually
+        # truncates the stretch -- otherwise two scalars suffice.
+        s0 = bp.S0
+        has_stalls = bp.has_stalls
+        stall_ref = 0
+        if has_stalls:
+            first_store = int(bp.next_store[k])
+            stall_ref = int(s0[min(first_store + 1, bp.length)])
+
+        def _finish(i: int) -> int:
+            value = base + int(b0[k + 1 + i])
+            if has_stalls:
+                stall = int(s0[k + 1 + i]) - stall_ref
+                if stall > 0:
+                    value += stall
+            if delta and i >= obs_rel:
+                value += delta
+            return value
+
+        last = _finish(count - 1)
+        if (head is not None and last >= head) \
+                or (limit is not None and last > limit):
+            # Heap-head / run-horizon caps: ops before the last must
+            # finish strictly before the next pending event and within
+            # the horizon (identical to the per-op continue condition).
+            if has_stalls:
+                finishes = s0[k + 1:j + 1] - stall_ref
+                np.maximum(finishes, 0, out=finishes)
+                finishes += b0[k + 1:j + 1]
+                finishes += base
+            else:
+                finishes = b0[k + 1:j + 1] + base
+            if delta:
+                finishes[obs_rel:] += delta
+            if head is not None and finishes[count - 1] >= head:
+                count = int(finishes.searchsorted(head, side="left")) + 1
+            if limit is not None and finishes[count - 1] > limit:
+                cap = int(finishes.searchsorted(limit, side="right")) + 1
+                if cap < count:
+                    count = cap
+            if count < _MIN_STRETCH:
+                return bp.length
+            j = k + count
+            hi = int(mem_pos.searchsorted(j))
+            last = int(finishes[count - 1])
+            prev_last = int(finishes[count - 2])
+        else:
+            prev_last = _finish(count - 2)
+        if delta and obs_rel >= count:
+            # The observing drain fell off the truncated stretch: no op
+            # left in it touches the stale entries.
+            delta = 0
+
+        # ---- commit the stretch -------------------------------------------
+        # No in-stretch store can find the buffer full: store times rise
+        # by at least a cycle per store, so live occupancy never exceeds
+        # the hit latency, and eligibility requires capacity >= hl.
+        stats = self.stats
+        busy = int(bp.cum_busy[j] - bp.cum_busy[k])
+        stats.busy += busy
+        stats.instructions += busy
+        other = int(bp.cum_other[j] - bp.cum_other[k])
+        if other:
+            stats.other += other
+        stats.loads += int(bp.cum_loads[j] - bp.cum_loads[k])
+        n_stores = int(bp.cum_stores[j] - bp.cum_stores[k])
+        stats.stores += n_stores
+        stats.fences += int(bp.cum_fences[j] - bp.cum_fences[k])
+        if has_stalls:
+            drained = int(s0[j]) - stall_ref
+            if drained > 0:
+                stats.sb_drain += drained
+        if delta:
+            stats.sb_drain += delta
+
+        n_mem = hi - lo
+        if n_mem:
+            mem = self.mem
+            mem.l1_hits[self.core_id] += n_mem
+            cache = mem.l1(self.core_id)
+            counter = cache._access_counter
+            cache._access_counter = counter + n_mem
+            last_touch: dict = {}
+            for pos, dense in enumerate(bp.mem_ids[lo:hi].tolist()):
+                last_touch[dense] = pos
+            refs = bp.refs
+            addr_list = bp.addr_list
+            lookup = cache.lookup
+            counter += 1
+            for dense, pos in last_touch.items():
+                block = refs.get(dense)
+                if block is None:
+                    block = refs[dense] = lookup(addr_list[dense], touch=False)
+                block.last_use = counter + pos
+            if n_stores:
+                store_pos = bp.store_pos
+                lo_s = int(store_pos.searchsorted(k))
+                hi_s = lo_s + n_stores
+                for dense in set(bp.store_ids[lo_s:hi_s].tolist()):
+                    block = refs.get(dense)
+                    if block is None:
+                        block = refs[dense] = lookup(addr_list[dense],
+                                                     touch=False)
+                    block.state = CoherenceState.MODIFIED
+                    block.dirty = True
+
+        if n_stores and bp.fifo:
+            # Rebuild the buffer's physical state: purge-on-insert leaves
+            # exactly the trailing stores still in flight at the last
+            # insertion (at most ``hl`` of them -- store times are
+            # strictly increasing), with releases (monotone from an empty
+            # start) equal to completion times.
+            hl = bp.hl
+            word_addr = bp.word_addr
+            base_order = sb._insertions
+
+            def _start(pos: int) -> int:
+                value = base + int(b0[pos])
+                if has_stalls:
+                    stall = int(s0[pos]) - stall_ref
+                    if stall > 0:
+                        value += stall
+                if delta and pos - k >= obs_rel:
+                    value += delta
+                return value
+
+            last_t = _start(int(store_pos[hi_s - 1]))
+            tail = []
+            idx = hi_s - 1
+            floor = last_t - hl
+            while idx >= lo_s:
+                pos = int(store_pos[idx])
+                t = _start(pos) if idx != hi_s - 1 else last_t
+                if t <= floor:
+                    break
+                tail.append((t, pos, idx))
+                idx -= 1
+            entries = []
+            releases = []
+            for t, pos, idx in reversed(tail):
+                release = t + hl
+                entries.append(StoreBufferEntry(
+                    address=int(word_addr[pos]), completion_time=release,
+                    release_time=release,
+                    insertion_order=base_order + (idx - lo_s)))
+                releases.append(release)
+            sb._entries = entries
+            sb._releases = releases
+            sb._insertions = base_order + n_stores
+            sb.total_inserted += n_stores
+            sb._max_release = last_t + hl
+            if sb.peak_occupancy < hl:
+                # Early in a run the exact window peak still matters;
+                # once the recorded peak reaches ``hl`` no in-stretch
+                # store can raise it further.
+                times = b0[store_pos[lo_s:hi_s]] + base
+                if has_stalls:
+                    stall = s0[store_pos[lo_s:hi_s]] - stall_ref
+                    np.maximum(stall, 0, out=stall)
+                    times = times + stall
+                if delta:
+                    times += delta
+                live = np.arange(n_stores) - times.searchsorted(
+                    times - hl, side="right")
+                peak = int(live.max()) + 1
+                if peak > sb.peak_occupancy:
+                    sb.peak_occupancy = peak
+
+        self._index = j
+        return count, last, prev_last, head

@@ -1,0 +1,304 @@
+"""Static lane profiles: the batch engine's precomputed quiescence tables.
+
+A *lane* is a group of runs that share one :class:`SystemConfig`.  Every
+(run, core) program-order stream becomes one row of a set of 2-D numpy
+arrays, padded to the longest stream with :data:`OP_ATOMIC` -- atomics
+are unconditional bulk breakers, so padding doubles as the trace-end
+sentinel.  One vectorized pass over the stack derives, per row:
+
+* ``dur0``/``busy0``: each op's retirement latency and busy charge when
+  it is an L1 hit executed with an empty store buffer (COMPUTE bundles
+  carry their own cycle count; busy equals the instruction weight);
+* the *drain-stall theorem* table ``stall0``: under SC a load (under
+  TSO/RMO a fence) drains the FIFO store buffer.  Within a stretch run
+  back-to-back from an empty buffer, the stall of drain op *k* whose
+  nearest preceding store is *s* with no drain in between is exactly
+  ``max(0, B0[s] + hit_latency - B0[k])`` where ``B0`` is the exclusive
+  cumulative sum of ``dur0`` -- stalls at earlier drains shift *s* and
+  *k* equally, and an intervening drain already waited out *s*'s
+  release.  Stalls whose referenced store precedes the stretch are
+  *bogus* (the buffer was empty at stretch entry) and are subtracted via
+  the ``S0`` prefix at runtime;
+* exclusive prefix sums of every per-op statistic the stretch commits
+  (busy, other, loads, stores, fences, memory-op count);
+* dense block ids and per-op residency requirements (loads need any
+  valid state, stores need MODIFIED/EXCLUSIVE), checked at runtime
+  against the packed per-row residency byte table that coherence
+  transactions keep fresh through the memory system's state watcher.
+
+Rows never share mutable state with each other, so lane results are
+independent of the order runs execute in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ...config import SpeculationMode, StoreBufferKind, SystemConfig
+from ...consistency.rules import rules_for
+from ...memory.address import WORD_BYTES, block_mask
+from ...trace.compiled import OP_ATOMIC, OP_COMPUTE, OP_FENCE, OP_LOAD, OP_STORE
+from ...trace.trace import MultiThreadedTrace
+
+
+class RowProfile:
+    """One (run, core) stream's static tables (views into the lane stack)."""
+
+    __slots__ = ("length", "hl", "fifo", "has_stalls", "sb_capacity",
+                 "ids", "need", "is_store", "is_mem", "word_addr",
+                 "B0", "S0", "cum_busy", "cum_other", "cum_loads",
+                 "cum_stores", "cum_fences", "cum_mem",
+                 "next_break", "next_store", "next_obs",
+                 "mem_pos", "mem_ids", "mem_need", "store_pos", "store_ids",
+                 "res", "dense_to_addr", "addr_list", "refs")
+
+    def __init__(self, lane: "LaneProfiles", row: int, length: int) -> None:
+        self.length = length
+        self.hl = lane.hl
+        self.fifo = lane.fifo
+        self.has_stalls = lane.has_stalls
+        self.sb_capacity = lane.sb_capacity
+        self.ids = lane.ids[row]
+        self.need = lane.need[row]
+        self.is_store = lane.is_store[row]
+        self.is_mem = lane.is_mem[row]
+        self.word_addr = lane.word_addr[row]
+        self.B0 = lane.B0[row]
+        self.S0 = lane.S0[row]
+        self.cum_busy = lane.cum_busy[row]
+        self.cum_other = lane.cum_other[row]
+        self.cum_loads = lane.cum_loads[row]
+        self.cum_stores = lane.cum_stores[row]
+        self.cum_fences = lane.cum_fences[row]
+        self.cum_mem = lane.cum_mem[row]
+        self.next_break = lane.next_break[row]
+        self.next_store = lane.next_store[row]
+        self.next_obs = lane.next_obs[row] if lane.next_obs is not None \
+            else lane.next_break[row]
+        self.mem_pos = lane.mem_pos[row]
+        self.mem_ids = lane.mem_ids[row]
+        self.mem_need = lane.mem_need[row]
+        self.store_pos = lane.store_pos[row]
+        self.store_ids = lane.store_ids[row]
+        self.res = lane.residency[row]
+        self.dense_to_addr = lane.dense_to_addr
+        self.addr_list = lane.addr_list
+        self.refs = lane.block_refs[row]
+
+
+class LaneProfiles:
+    """Precomputed batch tables for a group of runs under one config."""
+
+    def __init__(self, config: SystemConfig,
+                 traces: Sequence[MultiThreadedTrace]) -> None:
+        self.config = config
+        self.num_cores = config.num_cores
+        self.hl = config.l1.hit_latency
+        sb = config.store_buffer
+        self.fifo = sb.kind is StoreBufferKind.FIFO_WORD
+        self.sb_capacity = sb.entries
+        rules = rules_for(config.consistency)
+        self.has_stalls = self.fifo and (rules.load_requires_drain
+                                         or rules.fence_requires_drain)
+        self._lengths: List[int] = []
+        self._build(config, traces)
+
+    # -- construction ------------------------------------------------------
+
+    def _build(self, config: SystemConfig,
+               traces: Sequence[MultiThreadedTrace]) -> None:
+        hl = self.hl
+        num_cores = self.num_cores
+        arrays = []
+        for trace in traces:
+            for core_id in range(num_cores):
+                arrays.append(trace[core_id].compiled().arrays())
+        rows = len(arrays)
+        lmax = max((ta.length for ta in arrays), default=0)
+        lmax = max(lmax, 1)
+
+        kinds = np.full((rows, lmax), OP_ATOMIC, dtype=np.int8)
+        addresses = np.zeros((rows, lmax), dtype=np.int64)
+        cycles = np.ones((rows, lmax), dtype=np.int64)
+        for row, ta in enumerate(arrays):
+            n = ta.length
+            self._lengths.append(n)
+            kinds[row, :n] = ta.kinds
+            addresses[row, :n] = ta.addresses
+            cycles[row, :n] = ta.cycles
+
+        is_load = kinds == OP_LOAD
+        is_store = kinds == OP_STORE
+        is_fence = kinds == OP_FENCE
+        is_compute = kinds == OP_COMPUTE
+        is_atomic = kinds == OP_ATOMIC
+        self.is_store = is_store
+        self.is_mem = is_load | is_store
+
+        # Hit-path retirement latency and busy/other attribution per op.
+        dur0 = np.ones((rows, lmax), dtype=np.int64)
+        dur0[is_load] = hl
+        dur0[is_compute] = cycles[is_compute]
+        busy0 = np.ones((rows, lmax), dtype=np.int64)
+        busy0[is_compute] = cycles[is_compute]
+        other0 = np.zeros((rows, lmax), dtype=np.int64)
+        other0[is_load] = hl - 1
+
+        self.B0 = _exclusive_cumsum(dur0)
+        self.cum_busy = _exclusive_cumsum(busy0)
+        self.cum_other = _exclusive_cumsum(other0)
+        self.cum_loads = _exclusive_cumsum(is_load.astype(np.int64))
+        self.cum_stores = _exclusive_cumsum(is_store.astype(np.int64))
+        self.cum_fences = _exclusive_cumsum(is_fence.astype(np.int64))
+        self.cum_mem = _exclusive_cumsum(self.is_mem.astype(np.int64))
+
+        # Drain-stall table (FIFO buffers only; coalescing buffers retire
+        # in-stretch stores directly into the L1, so drains find nothing).
+        rules = rules_for(config.consistency)
+        if self.has_stalls:
+            drain = np.zeros((rows, lmax), dtype=np.bool_)
+            if rules.load_requires_drain:
+                drain |= is_load
+            if rules.fence_requires_drain:
+                drain |= is_fence
+            idx = np.arange(lmax, dtype=np.int64)
+            prev_store = _previous_index(is_store, idx)
+            prev_drain = _previous_index(drain, idx)
+            valid = drain & (prev_store >= 0) & (prev_drain < prev_store)
+            b0_at_store = np.take_along_axis(
+                self.B0, np.maximum(prev_store, 0), axis=1)
+            stall0 = np.where(
+                valid, np.maximum(b0_at_store + hl - self.B0[:, :lmax], 0), 0)
+            # A stretch may begin with stale (not yet released) entries in
+            # the FIFO buffer: the first op that *observes* the buffer --
+            # a drain or a store -- bounds how late those entries may
+            # release (see ``_bulk_advance``).
+            self.next_obs = _next_index(drain | is_store, lmax)
+        else:
+            stall0 = np.zeros((rows, lmax), dtype=np.int64)
+            self.next_obs = None
+        self.S0 = _exclusive_cumsum(stall0)
+
+        self.next_break = _next_index(is_atomic, lmax)
+        self.next_store = _next_index(is_store, lmax)
+
+        # Dense block ids + per-op residency requirement.
+        baddr = addresses & block_mask(config.block_bytes)
+        mem_addrs = baddr[self.is_mem]
+        uniq = np.unique(mem_addrs)
+        self.dense_to_addr = uniq
+        self.addr_to_dense: Dict[int, int] = {
+            int(a): i for i, a in enumerate(uniq.tolist())}
+        self.ids = np.zeros((rows, lmax), dtype=np.int64)
+        if uniq.size:
+            self.ids[self.is_mem] = np.searchsorted(uniq, mem_addrs)
+        self.need = np.zeros((rows, lmax), dtype=np.uint8)
+        self.need[is_load] = 1
+        self.need[is_store] = 2
+        self.word_addr = addresses & ~(WORD_BYTES - 1)
+        self.residency = np.zeros((rows, max(1, uniq.size)), dtype=np.uint8)
+
+        # Packed per-row memory-op indexes: the commit path touches only
+        # memory ops (residency gather, LRU last-touch, store tail), so a
+        # sorted position array turns window selection into two binary
+        # searches over views instead of boolean-mask copies.
+        self.mem_pos: List[np.ndarray] = []
+        self.mem_ids: List[np.ndarray] = []
+        self.mem_need: List[np.ndarray] = []
+        self.store_pos: List[np.ndarray] = []
+        self.store_ids: List[np.ndarray] = []
+        for row in range(rows):
+            mp = np.flatnonzero(self.is_mem[row])
+            sp = np.flatnonzero(is_store[row])
+            self.mem_pos.append(mp)
+            self.mem_ids.append(self.ids[row, mp])
+            self.mem_need.append(self.need[row, mp])
+            self.store_pos.append(sp)
+            self.store_ids.append(self.ids[row, sp])
+        self.addr_list = uniq.tolist()
+        #: per-row dense-id -> CacheBlock shortcuts; the state watcher
+        #: drops an entry on any coherence transition, so a cached
+        #: reference is always the live, valid block.
+        self.block_refs: List[Dict[int, object]] = [{} for _ in range(rows)]
+
+    # -- runtime views -----------------------------------------------------
+
+    def row_profile(self, run: int, core_id: int) -> RowProfile:
+        row = run * self.num_cores + core_id
+        return RowProfile(self, row, self._lengths[row])
+
+    def make_watcher(self, run: int):
+        """A per-run memory-system hook keeping residency rows fresh."""
+        offset = run * self.num_cores
+        residency = self.residency
+        addr_to_dense = self.addr_to_dense
+        block_refs = self.block_refs
+
+        def watch(core_id: int, baddr: int, code: int) -> None:
+            dense = addr_to_dense.get(baddr)
+            if dense is not None:
+                row = offset + core_id
+                residency[row, dense] = code
+                # Installs may bind a fresh CacheBlock object, so any
+                # transition invalidates the cached reference.
+                block_refs[row].pop(dense, None)
+
+        return watch
+
+
+def _exclusive_cumsum(values: np.ndarray) -> np.ndarray:
+    """Per-row exclusive prefix sums: out[:, k] == sum(values[:, :k])."""
+    rows, cols = values.shape
+    out = np.zeros((rows, cols + 1), dtype=np.int64)
+    np.cumsum(values, axis=1, out=out[:, 1:])
+    return out
+
+
+def _previous_index(mask: np.ndarray, idx: np.ndarray) -> np.ndarray:
+    """Per position, the largest marked index strictly before it (-1: none)."""
+    marked = np.where(mask, idx, -1)
+    incl = np.maximum.accumulate(marked, axis=1)
+    out = np.empty_like(incl)
+    out[:, 0] = -1
+    out[:, 1:] = incl[:, :-1]
+    return out
+
+
+def _next_index(mask: np.ndarray, sentinel: int) -> np.ndarray:
+    """Per position, the smallest marked index at or after it."""
+    idx = np.arange(mask.shape[1], dtype=np.int64)
+    marked = np.where(mask, idx, sentinel)
+    return np.minimum.accumulate(marked[:, ::-1], axis=1)[:, ::-1]
+
+
+def batch_eligible(config: SystemConfig) -> bool:
+    """Whether ``config`` supports bulk stretch retirement.
+
+    Speculative controllers checkpoint, roll back, and speculate through
+    the very events bulk retirement is built around, so under
+    ``engine="batch"`` they simply run the exact fast kernel (which is
+    what the bulk path falls back to anyway).  A zero-cycle L1 degenerates
+    the drain-stall algebra and is likewise delegated.  A FIFO buffer
+    smaller than the hit latency could fill mid-stretch (in-stretch store
+    times rise by at least one cycle per store, so live occupancy is
+    bounded by ``hit_latency``); such configurations fall back too rather
+    than carry a capacity check on the hot path.
+    """
+    if config.speculation.mode is not SpeculationMode.NONE \
+            or config.l1.hit_latency < 1:
+        return False
+    sb = config.store_buffer
+    if sb.kind is StoreBufferKind.FIFO_WORD and sb.entries < config.l1.hit_latency:
+        return False
+    return True
+
+
+def build_lane_profiles(
+        config: SystemConfig,
+        traces: Sequence[MultiThreadedTrace]) -> Optional[LaneProfiles]:
+    """Build the lane stack, or None when ``config`` is not bulk-eligible."""
+    if not batch_eligible(config) or not traces:
+        return None
+    return LaneProfiles(config, traces)

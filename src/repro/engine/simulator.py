@@ -8,7 +8,7 @@ from ..config import SystemConfig
 from ..errors import SimulationError
 from ..trace.trace import MultiThreadedTrace
 from .results import RunResult
-from .system import System, build_system
+from .system import System, build_system, validate_engine
 
 #: Hard cap on processed events, as a runaway-simulation backstop.  The cap
 #: scales with trace size inside :class:`Simulator`.  It is generous because
@@ -72,10 +72,13 @@ def simulate(config: SystemConfig, trace: MultiThreadedTrace,
     """Convenience wrapper: build a system for ``trace`` and run it.
 
     ``engine`` selects the execution kernel: ``"fast"`` (compiled traces,
-    batched steps, allocation-free hit path) or ``"reference"`` (the
-    original one-event-per-op path).  Results are bitwise identical; the
-    reference kernel exists for differential testing and benchmarking.
+    batched steps, allocation-free hit path), ``"reference"`` (the
+    original one-event-per-op path), or ``"batch"`` (vectorized
+    quiescent-stretch retirement on top of the fast kernel).  Results are
+    bitwise identical across all three; an unknown name raises
+    :class:`~repro.errors.ConfigurationError` naming the valid engines.
     """
+    validate_engine(engine)
     system = build_system(config, trace, warmup_fraction=warmup_fraction,
                           engine=engine)
     return Simulator(system).run(max_events=max_events, seed=trace.seed)

@@ -75,12 +75,32 @@ class System:
 #: Engine variants accepted by :func:`build_system`.  ``"fast"`` is the
 #: compiled/batched kernel; ``"reference"`` retains the original
 #: one-event-per-op, allocation-per-outcome execution path and exists so the
-#: differential suite can prove the fast path bitwise-equivalent.
-ENGINE_KINDS = ("fast", "reference")
+#: differential suite can prove the fast path bitwise-equivalent;
+#: ``"batch"`` layers vectorized quiescent-stretch retirement on top of the
+#: fast kernel (see :mod:`repro.engine.batch`) and is likewise proven
+#: byte-identical.
+ENGINE_KINDS = ("fast", "reference", "batch")
+
+
+def validate_engine(engine: str) -> str:
+    """Check ``engine`` against :data:`ENGINE_KINDS`; return it unchanged.
+
+    Raised eagerly by every entry point that accepts an engine name
+    (``simulate``, ``build_system``, the campaign executor, the CLI) so
+    an unknown name fails with one clear message instead of falling
+    through to a partially-wired system.
+    """
+    if engine not in ENGINE_KINDS:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; expected one of "
+            + "|".join(ENGINE_KINDS)
+        )
+    return engine
 
 
 def build_system(config: SystemConfig, trace: MultiThreadedTrace,
-                 warmup_fraction: float = 0.0, engine: str = "fast") -> System:
+                 warmup_fraction: float = 0.0, engine: str = "fast",
+                 lane=None) -> System:
     """Build a system running ``trace`` under ``config``.
 
     The trace must provide at least as many threads as the configuration
@@ -88,7 +108,11 @@ def build_system(config: SystemConfig, trace: MultiThreadedTrace,
     the surplus cores simply stay idle).  ``warmup_fraction`` of each
     thread's leading operations are executed but excluded from the
     statistics (cache warmup).  ``engine`` selects the execution kernel
-    (see :data:`ENGINE_KINDS`); both kernels produce identical results.
+    (see :data:`ENGINE_KINDS`); all kernels produce identical results.
+
+    ``lane`` is internal plumbing for :func:`repro.engine.batch.lanes.
+    simulate_batch`: a ``(LaneProfiles, run_index)`` pair reusing a
+    profile stack already built for a whole group of runs.
     """
     if trace.num_threads < config.num_cores:
         raise ConfigurationError(
@@ -97,21 +121,38 @@ def build_system(config: SystemConfig, trace: MultiThreadedTrace,
         )
     if not 0.0 <= warmup_fraction < 1.0:
         raise ConfigurationError("warmup_fraction must lie in [0, 1)")
-    if engine not in ENGINE_KINDS:
-        raise ConfigurationError(
-            f"unknown engine {engine!r}; expected one of {ENGINE_KINDS}"
-        )
-    fast = engine == "fast"
+    validate_engine(engine)
+    batch = engine == "batch"
+    fast = engine != "reference"
+    profiles = run_index = None
+    if batch:
+        # Imported here: the batch package's lane bridge imports this
+        # module back, so a module-scope import would be circular.
+        from .batch.core import BatchCore
+        from .batch.profile import build_lane_profiles
+        if lane is not None:
+            profiles, run_index = lane
+        else:
+            profiles = build_lane_profiles(config, [trace])
+            run_index = 0
     events = EventQueue()
     memory = MemorySystem(config, fast_path=fast)
+    if profiles is not None:
+        memory.set_state_watcher(profiles.make_watcher(run_index))
     cores: List[Core] = []
     phase_bounds = trace.phase_bounds
     for core_id in range(config.num_cores):
         thread_trace = trace[core_id]
         warmup_ops = int(len(thread_trace) * warmup_fraction)
-        core = Core(core_id, thread_trace, config, memory, events,
-                    warmup_ops=warmup_ops, phase_bounds=phase_bounds,
-                    batching=fast)
+        if profiles is not None:
+            core: Core = BatchCore(
+                core_id, thread_trace, config, memory, events,
+                warmup_ops=warmup_ops, phase_bounds=phase_bounds,
+                profile=profiles.row_profile(run_index, core_id))
+        else:
+            core = Core(core_id, thread_trace, config, memory, events,
+                        warmup_ops=warmup_ops, phase_bounds=phase_bounds,
+                        batching=fast)
         controller = make_controller(core)
         core.attach_controller(controller)
         cores.append(core)

@@ -126,10 +126,11 @@ class ExperimentRunner:
 
     def __init__(self, settings: ExperimentSettings, jobs: int = 1,
                  cache: Optional[ResultCache] = None,
-                 registry: Optional[ConfigRegistry] = None) -> None:
+                 registry: Optional[ConfigRegistry] = None,
+                 engine: str = "fast") -> None:
         self.settings = settings
         self.executor = CampaignExecutor(settings, jobs=jobs, cache=cache,
-                                         registry=registry)
+                                         registry=registry, engine=engine)
         #: what the last :meth:`run_jobs` call actually did.
         self.last_report = CampaignReport()
         self._results: Dict[Tuple[str, str, int], RunResult] = {}

@@ -166,7 +166,8 @@ def run_scaling(settings: Optional[ExperimentSettings] = None,
                 configs: Sequence[str] = SCALING_CONFIGS,
                 scenarios: Sequence[str] = SCALING_SCENARIOS,
                 jobs: int = 1,
-                cache: Optional[ResultCache] = None) -> ScalingResult:
+                cache: Optional[ResultCache] = None,
+                engine: str = "fast") -> ScalingResult:
     """Run the scaling sweep: (core count x config x scenario x seed).
 
     ``settings`` supplies trace length, seeds, and the warmup fraction;
@@ -176,4 +177,4 @@ def run_scaling(settings: Optional[ExperimentSettings] = None,
     byte-identical tables and cache entries.
     """
     return run_study(scaling_study(core_counts, configs, scenarios),
-                     settings, jobs=jobs, cache=cache)
+                     settings, jobs=jobs, cache=cache, engine=engine)

@@ -51,10 +51,11 @@ class StudyPlan:
         return overlay_registry(DEFAULT_REGISTRY, self.extra_configs)
 
     def runner(self, jobs: int = 1,
-               cache: Optional[ResultCache] = None) -> StudyRunner:
+               cache: Optional[ResultCache] = None,
+               engine: str = "fast") -> StudyRunner:
         """A study runner wired to this plan's merged registry."""
         return StudyRunner(self.settings, jobs=jobs, cache=cache,
-                           registry=self.registry())
+                           registry=self.registry(), engine=engine)
 
     def execute(self, study_runner: StudyRunner) -> CampaignReport:
         """Run the union once -- the single prefetch for every study."""

@@ -61,10 +61,12 @@ class StudyRunner:
     def __init__(self, settings: "ExperimentSettings", jobs: int = 1,
                  cache: Optional[ResultCache] = None,
                  registry: Optional[ConfigRegistry] = None,
-                 base_runner: Optional["ExperimentRunner"] = None) -> None:
+                 base_runner: Optional["ExperimentRunner"] = None,
+                 engine: str = "fast") -> None:
         self.settings = settings
         self.jobs = jobs
         self.cache = cache
+        self.engine = engine
         self._runners: Dict[int, "ExperimentRunner"] = {}
         if base_runner is not None:
             # Adopt the caller's runner (and its memoized results) for the
@@ -96,7 +98,7 @@ class StudyRunner:
                 else dataclasses.replace(self.settings, num_cores=num_cores)
             self._runners[num_cores] = ExperimentRunner(
                 scaled, jobs=self.jobs, cache=self.cache,
-                registry=self.registry)
+                registry=self.registry, engine=self.engine)
         return self._runners[num_cores]
 
     def run_cells(self, cells: Sequence[StudyCell]) -> CampaignReport:
@@ -179,7 +181,8 @@ def run_study(study: Union[str, StudySpec],
               study_runner: Optional[StudyRunner] = None,
               jobs: int = 1,
               cache: Optional[ResultCache] = None,
-              out_dir: Optional[Union[str, "Path"]] = None):
+              out_dir: Optional[Union[str, "Path"]] = None,
+              engine: str = "fast"):
     """Execute one study end to end; returns its result object.
 
     ``study`` is a :class:`StudySpec` or a name registered in
@@ -199,7 +202,7 @@ def run_study(study: Union[str, StudySpec],
         settings = ExperimentSettings()
     if study_runner is None:
         study_runner = StudyRunner(settings, jobs=jobs, cache=cache,
-                                   base_runner=runner)
+                                   base_runner=runner, engine=engine)
     study_runner.require_configs(spec.extra_configs)
     report = study_runner.run_cells(spec.cells(settings))
     result = spec.build(StudyContext(spec, settings, study_runner, report))

@@ -23,7 +23,9 @@ to the exact operation it re-executes.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
+
+import numpy as np
 
 from .ops import MemOp, OpKind
 
@@ -47,11 +49,32 @@ OPCODES = {
 KIND_FOR_OPCODE = {code: kind for kind, code in OPCODES.items()}
 
 
+class TraceArrays:
+    """Read-only numpy views over one :class:`CompiledTrace`.
+
+    Built lazily by :meth:`CompiledTrace.arrays` for the batch engine's
+    2-D lane stacking; each field mirrors the corresponding flat list.
+    """
+
+    __slots__ = ("length", "kinds", "addresses", "sizes", "cycles",
+                 "instr_weights", "is_memory")
+
+    def __init__(self, compiled: "CompiledTrace") -> None:
+        self.length = compiled.length
+        self.kinds = np.asarray(compiled.kinds, dtype=np.int8)
+        self.addresses = np.asarray(compiled.addresses, dtype=np.int64)
+        self.sizes = np.asarray(compiled.sizes, dtype=np.int64)
+        self.cycles = np.asarray(compiled.cycles, dtype=np.int64)
+        self.instr_weights = np.asarray(compiled.instr_weights,
+                                        dtype=np.int64)
+        self.is_memory = np.asarray(compiled.is_memory, dtype=np.bool_)
+
+
 class CompiledTrace:
     """Struct-of-arrays form of one program-order trace."""
 
     __slots__ = ("ops", "length", "kinds", "addresses", "sizes", "cycles",
-                 "instr_weights", "is_memory")
+                 "instr_weights", "is_memory", "_arrays")
 
     def __init__(self, ops: Sequence[MemOp]) -> None:
         self.ops: List[MemOp] = list(ops)
@@ -66,6 +89,7 @@ class CompiledTrace:
             else 1
             for op in self.ops
         ]
+        self._arrays: Optional[TraceArrays] = None
 
     def __len__(self) -> int:
         return self.length
@@ -73,3 +97,15 @@ class CompiledTrace:
     def view(self, index: int) -> MemOp:
         """The authored :class:`MemOp` at ``index`` (shared object)."""
         return self.ops[index]
+
+    def arrays(self) -> TraceArrays:
+        """Numpy views of the per-op columns, built once and cached.
+
+        The cache lives on this :class:`CompiledTrace` instance, so trace
+        mutation (``Trace.append``/``extend``), which discards the compiled
+        form, discards the arrays with it -- a stale-arrays bug cannot
+        outlive the compiled trace that spawned them.
+        """
+        if self._arrays is None or self._arrays.length != self.length:
+            self._arrays = TraceArrays(self)
+        return self._arrays

@@ -14,11 +14,12 @@ from repro.bench import (
     run_bench,
     write_report,
 )
-from repro.bench.harness import KERNEL_CONFIGS, SCENARIO_NAME
+from repro.bench.harness import BATCH_WIDTHS, KERNEL_CONFIGS, SCENARIO_NAME
 from repro.cli import main
 
 _PRESET = BenchPreset(name="test", workload="apache", num_cores=2,
-                      ops_per_thread=120, seed=3, repeats=1)
+                      ops_per_thread=120, seed=3, repeats=1,
+                      batch_ops_per_thread=800)
 
 
 @pytest.fixture(scope="module")
@@ -56,6 +57,22 @@ class TestBenchReport:
         assert studies["cells"] > studies["unique_jobs"] > 0
         assert studies["cold_seconds"] > 0
         assert studies["cached_seconds"] > 0
+
+    def test_batch_section_timed_and_identical(self, report):
+        """Schema v4: the batch tier is timed per lane width, both engines."""
+        batch = report["batch"]
+        assert batch["config"] == "sc"
+        assert batch["num_cores"] == 1
+        assert batch["ops_per_thread"] == _PRESET.batch_ops_per_thread
+        assert tuple(w["width"] for w in batch["widths"]) == BATCH_WIDTHS
+        for width in batch["widths"]:
+            assert width["identical"], "batch results must match fast"
+            assert width["total_ops"] == (width["width"]
+                                          * _PRESET.batch_ops_per_thread)
+            assert width["fast_ops_per_sec"] > 0
+            assert width["batch_ops_per_sec"] > 0
+            assert width["speedup"] > 0
+        assert batch["studies_cold_seconds"] > 0
 
     def test_round_trips_through_disk(self, report, tmp_path):
         path = tmp_path / "BENCH_kernel.json"
@@ -107,6 +124,20 @@ class TestBaselineCheck:
         baseline["kernels"] = baseline["kernels"][:-1]
         failures = check_against_baseline(report, baseline)
         assert any("missing from baseline" in failure for failure in failures)
+
+    def test_detects_batch_regression(self, report):
+        baseline = copy.deepcopy(report)
+        for width in baseline["batch"]["widths"]:
+            width["batch_ops_per_sec"] *= 10
+        failures = check_against_baseline(report, baseline, tolerance=0.30)
+        assert len(failures) == len(BATCH_WIDTHS)
+        assert all("batch width" in failure for failure in failures)
+
+    def test_identity_mismatch_is_a_failure(self, report):
+        fresh = copy.deepcopy(report)
+        fresh["batch"]["widths"][0]["identical"] = False
+        failures = check_against_baseline(fresh, copy.deepcopy(report))
+        assert any("byte-identical" in failure for failure in failures)
 
 
 class TestBenchCLI:

@@ -1,13 +1,16 @@
-"""Differential equivalence: compiled fast path vs. retained reference path.
+"""Differential equivalence: the three engines must agree byte for byte.
 
 The whole-stack kernel refactor (compiled traces, batched steps, typed
 events, allocation-free coherence hit path) is gated by one guarantee:
 ``simulate(..., engine="fast")`` and ``simulate(..., engine="reference")``
 produce *byte-identical* ``RunResult`` JSON -- every counter, every
-per-phase breakdown, every events-processed count.  This suite asserts
-that across every built-in workload preset, every registered scenario,
-and the three controller kinds, plus warmup and rollback-heavy corners,
-and that campaign cache keys/entries are engine-independent.
+per-phase breakdown, every events-processed count.  The vectorized batch
+tier (``engine="batch"``) extends that guarantee: bulk-retired quiescent
+stretches commit exactly what the per-op kernel would have, at any lane
+width and for ragged-length lanes.  This suite asserts all of it across
+every built-in workload preset, every registered scenario, and the three
+controller kinds, plus warmup and rollback-heavy corners, and that
+campaign cache keys/entries are engine-independent.
 """
 
 import pytest
@@ -15,6 +18,7 @@ import pytest
 from repro.campaign import Job, ResultCache
 from repro.campaign.cache import cache_key
 from repro.campaign.executor import CampaignExecutor
+from repro.engine.batch.lanes import simulate_batch
 from repro.engine.simulator import simulate
 from repro.engine.system import build_system
 from repro.errors import ConfigurationError
@@ -51,6 +55,32 @@ class TestEngineSelection:
         config = make_config("sc", _settings())
         with pytest.raises(ConfigurationError):
             build_system(config, trace, engine="turbo")
+
+    def test_unknown_engine_message_names_the_valid_kinds(self):
+        """The error must tell the user what *is* accepted."""
+        trace = build_trace("apache", num_threads=_CORES,
+                            ops_per_thread=20, seed=1)
+        config = make_config("sc", _settings())
+        for entry_point in (
+                lambda: simulate(config, trace, engine="turbo"),
+                lambda: build_system(config, trace, engine="turbo")):
+            with pytest.raises(ConfigurationError) as excinfo:
+                entry_point()
+            message = str(excinfo.value)
+            assert "turbo" in message
+            assert "fast|reference|batch" in message
+
+    def test_simulate_rejects_unknown_engine_before_building(self):
+        """Validation is eager: no partially wired system, no simulation."""
+        trace = build_trace("apache", num_threads=_CORES,
+                            ops_per_thread=20, seed=1)
+        config = make_config("sc", _settings())
+        with pytest.raises(ConfigurationError):
+            simulate(config, trace, engine="FAST")  # names are exact
+
+    def test_executor_rejects_unknown_engine(self):
+        with pytest.raises(ConfigurationError):
+            CampaignExecutor(_settings(), engine="turbo")
 
     def test_fast_engine_batches_and_reference_does_not(self):
         trace = build_trace("apache", num_threads=_CORES,
@@ -175,3 +205,141 @@ class TestQueuedInterconnectEquivalence:
     def test_registered_configs_default_contention_free(self, config_name):
         config = make_config(config_name, _settings())
         assert config.interconnect.contention == "none"
+
+
+#: the conventional consistency models, where the batch tier's bulk path
+#: is actually eligible (speculative controllers fall back to pure-exact
+#: execution inside the same BatchCore).
+CONVENTIONAL_CONFIGS = ("sc", "tso", "rmo")
+
+
+def _batch_vs_fast(config, trace, warmup: float = 0.0):
+    fast = simulate(config, trace, warmup_fraction=warmup, engine="fast")
+    batch = simulate(config, trace, warmup_fraction=warmup, engine="batch")
+    return fast, batch
+
+
+@pytest.mark.parametrize("config_name", CONTROLLER_CONFIGS)
+@pytest.mark.parametrize("workload", ALL_WORKLOADS)
+class TestBatchByteIdenticalResults:
+    def test_batch_vs_fast_byte_identical(self, config_name, workload):
+        """Every preset and scenario, every controller kind."""
+        trace = build_trace(workload, num_threads=_CORES,
+                            ops_per_thread=_OPS, seed=3)
+        config = make_config(config_name, _settings())
+        fast, batch = _batch_vs_fast(config, trace)
+        assert fast.to_json() == batch.to_json()
+
+
+@pytest.mark.parametrize("config_name", CONVENTIONAL_CONFIGS)
+class TestBatchConventionalModels:
+    """SC / TSO / RMO take the bulk path; warmup splits stretches."""
+
+    def test_batch_vs_fast_with_warmup(self, config_name):
+        trace = build_trace("apache", num_threads=_CORES,
+                            ops_per_thread=_OPS, seed=7)
+        config = make_config(config_name, _settings(warmup=0.25))
+        fast, batch = _batch_vs_fast(config, trace, warmup=0.25)
+        assert fast.to_json() == batch.to_json()
+
+    def test_batch_vs_fast_scenario_phases(self, config_name):
+        """Phase boundaries must break stretches without losing cycles."""
+        trace = build_trace("false-sharing-storm", num_threads=_CORES,
+                            ops_per_thread=_OPS, seed=11)
+        config = make_config(config_name, _settings(warmup=0.2))
+        fast, batch = _batch_vs_fast(config, trace, warmup=0.2)
+        assert fast.to_json() == batch.to_json()
+
+    def test_batch_vs_fast_single_core(self, config_name):
+        """Single-core runs have an empty event heap (the longest stretches)."""
+        settings = ExperimentSettings(num_cores=1, ops_per_thread=600,
+                                      seeds=(3,), warmup_fraction=0.0)
+        trace = build_trace("barnes", num_threads=1,
+                            ops_per_thread=600, seed=3)
+        config = make_config(config_name, settings)
+        fast, batch = _batch_vs_fast(config, trace)
+        assert fast.to_json() == batch.to_json()
+
+
+@pytest.mark.parametrize("width", (1, 3, 8))
+class TestLaneWidthIndependence:
+    """A lane's width is a performance knob, never a results dimension."""
+
+    def test_lane_matches_per_cell_fast(self, width):
+        config = make_config("sc", _settings())
+        traces = [build_trace("apache", num_threads=_CORES,
+                              ops_per_thread=_OPS, seed=100 + i)
+                  for i in range(width)]
+        lane = simulate_batch(config, traces,
+                              warmup_fraction=0.0)
+        assert len(lane) == width
+        for trace, result in zip(traces, lane):
+            fast = simulate(config, trace, engine="fast")
+            assert result.to_json() == fast.to_json()
+
+    def test_lane_matches_width_one_lanes(self, width):
+        """Runs share only immutable tables: width-N == N times width-1."""
+        config = make_config("tso", _settings())
+        traces = [build_trace("ocean", num_threads=_CORES,
+                              ops_per_thread=200, seed=40 + i)
+                  for i in range(width)]
+        wide = simulate_batch(config, traces, warmup_fraction=0.1)
+        narrow = [simulate_batch(config, [trace], warmup_fraction=0.1)[0]
+                  for trace in traces]
+        for a, b in zip(wide, narrow):
+            assert a.to_json() == b.to_json()
+
+
+class TestRaggedLanes:
+    def test_ragged_length_traces_in_one_lane(self):
+        """Rows of different lengths stack against the lane-wide maximum."""
+        config = make_config("sc", _settings())
+        traces = [build_trace("apache", num_threads=_CORES,
+                              ops_per_thread=ops, seed=5)
+                  for ops in (60, 300, 137)]
+        lane = simulate_batch(config, traces, warmup_fraction=0.0)
+        for trace, result in zip(traces, lane):
+            fast = simulate(config, trace, engine="fast")
+            assert result.to_json() == fast.to_json()
+
+    def test_mixed_workloads_in_one_lane(self):
+        """A lane only requires a shared config, not a shared workload."""
+        config = make_config("rmo", _settings())
+        traces = [build_trace(name, num_threads=_CORES,
+                              ops_per_thread=_OPS, seed=9)
+                  for name in ("apache", "barnes", "ocean")]
+        lane = simulate_batch(config, traces, warmup_fraction=0.0)
+        for trace, result in zip(traces, lane):
+            fast = simulate(config, trace, engine="fast")
+            assert result.to_json() == fast.to_json()
+
+
+class TestBatchCampaignIntegration:
+    def test_batch_warmed_cache_serves_fast_engine(self, tmp_path):
+        """Cache entries written under batch are hits for fast, bytes equal."""
+        settings = _settings()
+        cache = ResultCache(tmp_path / "cache")
+        batch_exec = CampaignExecutor(settings, jobs=1, cache=cache,
+                                      engine="batch")
+        jobs = [Job("sc", "apache", 3), Job("sc", "barnes", 3),
+                Job("invisi_sc", "apache", 3)]
+        batch_results = batch_exec.run(jobs)
+        assert batch_exec.last_report.simulated == len(jobs)
+
+        fast_exec = CampaignExecutor(settings, jobs=1, cache=cache,
+                                     engine="fast")
+        fast_results = fast_exec.run(jobs)
+        assert fast_exec.last_report.simulated == 0
+        assert fast_exec.last_report.cache_hits == len(jobs)
+        for a, b in zip(batch_results, fast_results):
+            assert a.to_json() == b.to_json()
+
+    def test_serial_batch_campaign_matches_fast_campaign(self):
+        """The executor's lane grouping changes nothing observable."""
+        settings = _settings()
+        jobs = [Job(c, w, 3) for c in ("sc", "tso")
+                for w in ("apache", "ocean")]
+        batch = CampaignExecutor(settings, engine="batch").run(jobs)
+        fast = CampaignExecutor(settings, engine="fast").run(jobs)
+        for a, b in zip(batch, fast):
+            assert a.to_json() == b.to_json()
