@@ -11,6 +11,7 @@ from .harness import (
     BENCH_SCHEMA_VERSION,
     BenchPreset,
     check_against_baseline,
+    format_baseline_delta,
     format_bench_report,
     load_report,
     run_bench,
@@ -21,6 +22,7 @@ __all__ = [
     "BENCH_SCHEMA_VERSION",
     "BenchPreset",
     "check_against_baseline",
+    "format_baseline_delta",
     "format_bench_report",
     "load_report",
     "run_bench",

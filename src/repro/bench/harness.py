@@ -34,12 +34,22 @@ timing (the minimum is robust against scheduler noise):
   executed cold under ``engine="batch"`` -- the hostile direction, where
   the adaptive opt-out must keep batch within noise of fast.
 
-Output schema (``BENCH_kernel.json``, version 4; v3 lacked the ``batch``
-section and the ``batch_ops_per_thread`` preset field, v2 lacked
-``studies``, v1 also lacked ``geometries`` and ``geometry_cores``)::
+* **telemetry** -- the ``sc`` kernel with no recorder, with a (disabled)
+  :class:`~repro.obs.NullRecorder` attached, and with a live
+  :class:`~repro.obs.TraceRecorder`.  The first two must agree: the
+  telemetry hooks are behind a single ``is not None`` test per site, so
+  attaching a disabled recorder must cost nothing measurable.
+  ``overhead_frac`` (null-recorder vs. off, from best-of minima) is gated
+  by :func:`check_against_baseline` at ``telemetry_tolerance`` (2% by
+  default); the traced numbers are informative only.
+
+Output schema (``BENCH_kernel.json``, version 5; v4 lacked the
+``telemetry`` section, v3 lacked the ``batch`` section and the
+``batch_ops_per_thread`` preset field, v2 lacked ``studies``, v1 also
+lacked ``geometries`` and ``geometry_cores``)::
 
     {
-      "schema": 4,
+      "schema": 5,
       "preset": {"name", "workload", "num_cores", "ops_per_thread",
                  "seed", "repeats", "engine", "geometry_cores",
                  "batch_ops_per_thread"},
@@ -58,7 +68,11 @@ section and the ``batch_ops_per_thread`` preset field, v2 lacked
                             "fast_seconds", "fast_ops_per_sec",
                             "batch_seconds", "batch_ops_per_sec",
                             "speedup"}],
-                "studies_cold_seconds"}
+                "studies_cold_seconds"},
+      "telemetry": {"config", "total_ops", "off_seconds",
+                    "off_ops_per_sec", "null_seconds",
+                    "null_ops_per_sec", "overhead_frac",
+                    "traced_seconds", "traced_ops_per_sec"}
     }
 
 ``ops_per_sec`` is trace operations simulated (or spliced) per second of
@@ -80,11 +94,12 @@ from ..campaign import CampaignExecutor, Job, ResultCache
 from ..engine.batch.lanes import simulate_batch
 from ..engine.simulator import simulate
 from ..experiments.common import ExperimentSettings, make_config
+from ..obs import NullRecorder, TraceRecorder
 from ..workloads.registry import build_trace
 from ..workloads.spec import WorkloadSpec
 
 #: bump on any change to the report layout so stale baselines are rejected.
-BENCH_SCHEMA_VERSION = 4
+BENCH_SCHEMA_VERSION = 5
 
 #: configuration short-names covering the three controller kinds.
 KERNEL_CONFIGS = ("sc", "invisi_sc", "invisi_cont")
@@ -356,6 +371,71 @@ def _bench_scenario(preset: BenchPreset) -> Dict[str, Any]:
     }
 
 
+def _bench_telemetry(preset: BenchPreset,
+                     settings: ExperimentSettings) -> Dict[str, Any]:
+    """Measure the cost of the telemetry hooks on the hot path.
+
+    Three timings of the same ``sc`` cell: recorder off (``None``), a
+    disabled :class:`NullRecorder` attached, and a live
+    :class:`TraceRecorder`.  The off and null numbers must coincide:
+    every hook site collapses to one ``is not None`` test when telemetry
+    is disabled.
+
+    ``overhead_frac`` -- the number the CI gate holds under
+    ``telemetry_tolerance`` -- is estimated to survive noisy shared
+    machines, where a single off-vs-null ratio jitters by several percent
+    on millisecond-scale runs.  The section runs at a floor of 2000
+    ops/thread regardless of the preset, and takes the *minimum* over
+    three independent blocks of the per-block ratio of interleaved
+    best-of minima: scheduler noise only ever inflates one block's ratio,
+    while a real per-event cost inflates every block, so the minimum
+    rejects the former and cannot hide the latter.
+    """
+    ops = max(2000, preset.ops_per_thread)
+    tele_settings = settings if ops == preset.ops_per_thread \
+        else ExperimentSettings(
+            num_cores=preset.num_cores, ops_per_thread=ops,
+            seeds=(preset.seed,), workloads=(preset.workload,),
+            warmup_fraction=0.0)
+    trace = build_trace(preset.workload, num_threads=preset.num_cores,
+                        ops_per_thread=ops, seed=preset.seed)
+    total_ops = trace.total_ops()
+    config = make_config("sc", tele_settings)
+    per_block = max(3, preset.repeats)
+
+    off_best = null_best = float("inf")
+    overhead = float("inf")
+    for _ in range(3):
+        block_off = block_null = float("inf")
+        for _ in range(per_block):
+            start = time.perf_counter()
+            simulate(config, trace, engine=preset.engine)
+            block_off = min(block_off, time.perf_counter() - start)
+            start = time.perf_counter()
+            simulate(config, trace, engine=preset.engine,
+                     recorder=NullRecorder())
+            block_null = min(block_null, time.perf_counter() - start)
+        if block_off > 0:
+            overhead = min(overhead, (block_null - block_off) / block_off)
+        off_best = min(off_best, block_off)
+        null_best = min(null_best, block_null)
+    traced_best, _ = _best_of(
+        per_block, lambda: simulate(config, trace, engine=preset.engine,
+                                    recorder=TraceRecorder()))
+    return {
+        "config": "sc",
+        "total_ops": total_ops,
+        "off_seconds": off_best,
+        "off_ops_per_sec": total_ops / off_best if off_best > 0 else 0.0,
+        "null_seconds": null_best,
+        "null_ops_per_sec": total_ops / null_best if null_best > 0 else 0.0,
+        "overhead_frac": overhead if overhead != float("inf") else 0.0,
+        "traced_seconds": traced_best,
+        "traced_ops_per_sec": total_ops / traced_best
+        if traced_best > 0 else 0.0,
+    }
+
+
 def run_bench(preset: BenchPreset, cache_dir: Path) -> Dict[str, Any]:
     """Run the full bench suite; returns the report (see module docstring).
 
@@ -375,6 +455,7 @@ def run_bench(preset: BenchPreset, cache_dir: Path) -> Dict[str, Any]:
         "geometries": _bench_geometries(preset),
         "studies": _bench_studies(preset, settings, cache_dir),
         "batch": _bench_batch(preset),
+        "telemetry": _bench_telemetry(preset, settings),
     }
 
 
@@ -428,11 +509,73 @@ def format_bench_report(report: Dict[str, Any]) -> str:
         lines.append(
             f"  batch all-studies cold: "
             f"{batch['studies_cold_seconds'] * 1000:.1f} ms")
+    telemetry = report.get("telemetry")
+    if telemetry:
+        lines.append(
+            f"  telemetry off {telemetry['off_ops_per_sec']:>12,.0f} ops/s, "
+            f"null recorder {telemetry['null_ops_per_sec']:>12,.0f} "
+            f"({telemetry['overhead_frac']:+.1%} overhead), traced "
+            f"{telemetry['traced_ops_per_sec']:>12,.0f}")
+    return "\n".join(lines)
+
+
+def format_baseline_delta(report: Dict[str, Any],
+                          baseline: Dict[str, Any]) -> str:
+    """Per-section delta table of a report vs. a baseline.
+
+    Printed by ``repro bench --check`` even when the check passes, so
+    every CI run shows where throughput moved, not just whether it fell
+    off a cliff.  Positive deltas are speedups.
+    """
+    rows: List[Tuple[str, float, float]] = []
+    base_kernels = {k["config"]: k for k in baseline.get("kernels", [])}
+    for kernel in report.get("kernels", []):
+        base = base_kernels.get(kernel["config"])
+        if base:
+            rows.append((f"kernel {kernel['config']}",
+                         kernel["ops_per_sec"], base["ops_per_sec"]))
+    scenario, base_scenario = report.get("scenario"), baseline.get("scenario")
+    if scenario and base_scenario:
+        rows.append(("scenario splice", scenario["ops_per_sec"],
+                     base_scenario["ops_per_sec"]))
+    base_geometries = {g["num_cores"]: g
+                       for g in baseline.get("geometries", [])}
+    for geometry in report.get("geometries", []):
+        base = base_geometries.get(geometry["num_cores"])
+        if base:
+            rows.append((f"geometry {geometry['num_cores']} cores",
+                         geometry["ops_per_sec"], base["ops_per_sec"]))
+    base_widths = {w["width"]: w for w in
+                   baseline.get("batch", {}).get("widths", [])}
+    for width in report.get("batch", {}).get("widths", []):
+        base = base_widths.get(width["width"])
+        if base:
+            rows.append((f"batch width {width['width']}",
+                         width["batch_ops_per_sec"],
+                         base["batch_ops_per_sec"]))
+    telemetry = report.get("telemetry")
+    base_telemetry = baseline.get("telemetry")
+    if telemetry and base_telemetry:
+        rows.append(("telemetry null recorder",
+                     telemetry["null_ops_per_sec"],
+                     base_telemetry["null_ops_per_sec"]))
+
+    lines = [f"  {'section':<24} {'current':>14} {'baseline':>14} {'delta':>8}"]
+    for label, current, base in rows:
+        delta = (current - base) / base if base > 0 else 0.0
+        lines.append(f"  {label:<24} {current:>14,.0f} {base:>14,.0f} "
+                     f"{delta:>+8.1%}")
+    if telemetry:
+        base_frac = (f"{base_telemetry['overhead_frac']:>+14.2%}"
+                     if base_telemetry else f"{'n/a':>14}")
+        lines.append(f"  {'telemetry overhead':<24} "
+                     f"{telemetry['overhead_frac']:>+14.2%} {base_frac}")
     return "\n".join(lines)
 
 
 def check_against_baseline(report: Dict[str, Any], baseline: Dict[str, Any],
-                           tolerance: float = 0.30) -> List[str]:
+                           tolerance: float = 0.30,
+                           telemetry_tolerance: float = 0.02) -> List[str]:
     """Compare kernel throughput against a baseline report.
 
     Returns a list of human-readable regression messages; empty means the
@@ -440,6 +583,12 @@ def check_against_baseline(report: Dict[str, Any], baseline: Dict[str, Any],
     baseline on every kernel.  Schema mismatches and preset mismatches
     (engine, workload, scale, seed) are reported as failures rather than
     silently compared.
+
+    The telemetry section is gated within the fresh report itself: its
+    ``overhead_frac`` (disabled-recorder run vs. recorder-off run, both
+    best-of minima from the same process) must not exceed
+    ``telemetry_tolerance``.  Comparing within one run rather than across
+    runs keeps the 2% gate meaningful on noisy CI machines.
     """
     failures: List[str] = []
     if baseline.get("schema") != report.get("schema"):
@@ -502,6 +651,16 @@ def check_against_baseline(report: Dict[str, Any], baseline: Dict[str, Any],
                 f"{width['batch_ops_per_sec']:,.0f} ops/s is below "
                 f"{floor:,.0f} (baseline {base['batch_ops_per_sec']:,.0f} "
                 f"- {tolerance:.0%} tolerance)")
+    telemetry = report.get("telemetry")
+    if telemetry is None:
+        failures.append("telemetry section missing from report")
+    elif telemetry["overhead_frac"] > telemetry_tolerance:
+        failures.append(
+            f"telemetry: disabled-recorder overhead "
+            f"{telemetry['overhead_frac']:.2%} exceeds "
+            f"{telemetry_tolerance:.0%} (off "
+            f"{telemetry['off_ops_per_sec']:,.0f} ops/s vs null recorder "
+            f"{telemetry['null_ops_per_sec']:,.0f})")
     return failures
 
 

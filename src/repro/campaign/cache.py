@@ -48,6 +48,21 @@ def cache_key(config: SystemConfig, spec, seed: int,
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+@dataclasses.dataclass(frozen=True)
+class CacheStats:
+    """Structured hit/miss/store tallies of a :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def since(self, earlier: "CacheStats") -> "CacheStats":
+        """The delta accumulated after an ``earlier`` snapshot."""
+        return CacheStats(hits=self.hits - earlier.hits,
+                          misses=self.misses - earlier.misses,
+                          stores=self.stores - earlier.stores)
+
+
 class ResultCache:
     """Content-addressed store of :class:`RunResult` JSON files."""
 
@@ -55,6 +70,13 @@ class ResultCache:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.stores = 0
+
+    @property
+    def stats(self) -> CacheStats:
+        """Snapshot of the cache's lifetime tallies."""
+        return CacheStats(hits=self.hits, misses=self.misses,
+                          stores=self.stores)
 
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}.json"
@@ -81,6 +103,7 @@ class ResultCache:
         tmp = path.with_name(path.name + f".tmp{os.getpid()}")
         tmp.write_text(result.to_json(), encoding="utf-8")
         os.replace(tmp, path)
+        self.stores += 1
         return path
 
     def __len__(self) -> int:

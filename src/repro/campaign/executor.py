@@ -27,6 +27,8 @@ build.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
@@ -35,9 +37,10 @@ from ..engine.batch.lanes import simulate_batch
 from ..engine.results import RunResult
 from ..engine.simulator import simulate
 from ..engine.system import validate_engine
+from ..obs.recorder import Recorder, active
 from ..trace.trace import MultiThreadedTrace
 from ..workloads.registry import build_trace, resolve_spec
-from .cache import ResultCache, cache_key
+from .cache import CacheStats, ResultCache, cache_key
 from .jobs import Job, dedupe_jobs
 from .registry import DEFAULT_REGISTRY, ConfigRegistry
 
@@ -70,6 +73,23 @@ def _simulate_lane(payload: _LanePayload) -> List[RunResult]:
     return simulate_batch(config, traces, warmup_fraction=warmup_fraction)
 
 
+# Timed worker variants, used only when a recorder is attached: they report
+# epoch timestamps and the worker's pid so the parent can place each job on
+# the campaign's wall-clock tracks.  Results are unchanged -- the timing
+# wraps the exact same simulation call.
+
+def _simulate_cell_timed(payload: _CellPayload):
+    start = time.time()
+    result = _simulate_cell(payload)
+    return result, start, time.time(), os.getpid()
+
+
+def _simulate_lane_timed(payload: _LanePayload):
+    start = time.time()
+    results = _simulate_lane(payload)
+    return results, start, time.time(), os.getpid()
+
+
 @dataclass
 class CampaignReport:
     """What one :meth:`CampaignExecutor.run` call actually did."""
@@ -79,11 +99,16 @@ class CampaignReport:
     cache_hits: int = 0
     #: duplicate cells folded into one simulation.
     deduplicated: int = 0
+    #: cache tallies accumulated by this run (``None`` without a cache).
+    cache_stats: Optional[CacheStats] = None
 
     def describe(self, cache: Optional[ResultCache] = None) -> str:
         """One-line human summary (shared by the CLI and scripts)."""
         where = "no cache" if cache is None else str(cache.root)
-        return f"{self.simulated} simulated, {self.cache_hits} cache hits ({where})"
+        line = f"{self.simulated} simulated, {self.cache_hits} cache hits ({where})"
+        if self.cache_stats is not None:
+            line += f", {self.cache_stats.stores} stored"
+        return line
 
 
 class CampaignExecutor:
@@ -92,13 +117,21 @@ class CampaignExecutor:
     def __init__(self, settings: "ExperimentSettings", jobs: int = 1,
                  cache: Optional[ResultCache] = None,
                  registry: Optional[ConfigRegistry] = None,
-                 engine: str = "fast") -> None:
+                 engine: str = "fast",
+                 recorder: Optional[Recorder] = None) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.settings = settings
         self.jobs = jobs
         self.cache = cache
         self.registry = registry if registry is not None else DEFAULT_REGISTRY
+        #: campaign-level observability: per-job wall-clock spans, cache
+        #: tallies, lane widths.  ``None`` (the default) records nothing;
+        #: simulations themselves always run without an engine recorder
+        #: here, so their results never depend on telemetry.
+        self.recorder = active(recorder)
+        #: worker pid -> small campaign tid, for stable trace tracks.
+        self._worker_tids: Dict[int, int] = {}
         #: execution kernel for missing cells.  All engines produce
         #: byte-identical results, so cache keys and entries are
         #: engine-independent; under ``"batch"`` missing cells are grouped
@@ -146,12 +179,25 @@ class CampaignExecutor:
 
     # -- execution -----------------------------------------------------------
 
+    def _worker_tid(self, pid: int) -> int:
+        """A small, stable campaign-track id for a worker process."""
+        tid = self._worker_tids.get(pid)
+        if tid is None:
+            tid = self._worker_tids[pid] = len(self._worker_tids) + 1
+        return tid
+
+    def _job_args(self, job: Job, pid: int) -> Dict[str, object]:
+        return {"config": job.config_name, "workload": job.workload,
+                "seed": job.seed, "engine": self.engine, "worker": pid}
+
     def run(self, jobs: Sequence[Job]) -> List[RunResult]:
         """Run ``jobs``; returns results in the same order as the input."""
         jobs = list(jobs)
         unique = dedupe_jobs(jobs)
         report = CampaignReport(total=len(jobs),
                                 deduplicated=len(jobs) - len(unique))
+        rec = self.recorder
+        cache_before = self.cache.stats if self.cache is not None else None
 
         results: Dict[Job, RunResult] = {}
         keys: Dict[Job, str] = {}
@@ -174,22 +220,45 @@ class CampaignExecutor:
             elif workers > 1:
                 payloads = [self._payload(job) for job in missing]
                 with multiprocessing.Pool(processes=workers) as pool:
-                    simulated = pool.map(_simulate_cell, payloads, chunksize=1)
+                    if rec is not None:
+                        timed = pool.map(_simulate_cell_timed, payloads,
+                                         chunksize=1)
+                        simulated = []
+                        for job, (result, start, end, pid) in zip(missing,
+                                                                  timed):
+                            rec.wall_span(self._worker_tid(pid), "job",
+                                          start, end, self._job_args(job, pid))
+                            simulated.append(result)
+                    else:
+                        simulated = pool.map(_simulate_cell, payloads,
+                                             chunksize=1)
             else:
                 simulated = []
                 for job in missing:
                     config = self.config_for(job)
                     trace = self.trace_for(job.workload, job.seed,
                                            num_threads=config.num_cores)
-                    simulated.append(
-                        simulate(config, trace,
-                                 warmup_fraction=self.settings.warmup_fraction,
-                                 engine=self.engine))
+                    start = time.time() if rec is not None else 0.0
+                    result = simulate(
+                        config, trace,
+                        warmup_fraction=self.settings.warmup_fraction,
+                        engine=self.engine)
+                    if rec is not None:
+                        rec.wall_span(0, "job", start, time.time(),
+                                      self._job_args(job, os.getpid()))
+                    simulated.append(result)
             for job, result in zip(missing, simulated):
                 results[job] = result
                 if self.cache is not None:
                     self.cache.put(keys[job], result)
 
+        if self.cache is not None:
+            report.cache_stats = self.cache.stats.since(cache_before)
+        if rec is not None:
+            rec.count("campaign.jobs", report.total)
+            rec.count("campaign.simulated", report.simulated)
+            rec.count("campaign.cache_hits", report.cache_hits)
+            rec.count("campaign.deduplicated", report.deduplicated)
         self.last_report = report
         return [results[job] for job in jobs]
 
@@ -206,6 +275,11 @@ class CampaignExecutor:
         lanes: Dict[str, List[int]] = {}
         for pos, job in enumerate(missing):
             lanes.setdefault(job.config_name, []).append(pos)
+        rec = self.recorder
+        if rec is not None:
+            rec.count("campaign.lanes", len(lanes))
+            for members in lanes.values():
+                rec.observe("campaign.lane_width", len(members))
         results: List[Optional[RunResult]] = [None] * len(missing)
         if workers > 1 and len(lanes) > 1:
             payloads: List[_LanePayload] = []
@@ -218,7 +292,21 @@ class CampaignExecutor:
                                  self.settings.warmup_fraction))
             with multiprocessing.Pool(
                     processes=min(workers, len(lanes))) as pool:
-                lane_results = pool.map(_simulate_lane, payloads, chunksize=1)
+                if rec is not None:
+                    timed = pool.map(_simulate_lane_timed, payloads,
+                                     chunksize=1)
+                    lane_results = []
+                    for members, (lane, start, end, pid) in zip(
+                            lanes.values(), timed):
+                        first = missing[members[0]]
+                        rec.wall_span(
+                            self._worker_tid(pid), "lane", start, end,
+                            {"config": first.config_name,
+                             "width": len(members), "worker": pid})
+                        lane_results.append(lane)
+                else:
+                    lane_results = pool.map(_simulate_lane, payloads,
+                                            chunksize=1)
             for members, lane in zip(lanes.values(), lane_results):
                 for pos, result in zip(members, lane):
                     results[pos] = result
@@ -229,9 +317,15 @@ class CampaignExecutor:
                                          missing[pos].seed,
                                          num_threads=config.num_cores)
                           for pos in members]
+                start = time.time() if rec is not None else 0.0
                 lane = simulate_batch(
                     config, traces,
                     warmup_fraction=self.settings.warmup_fraction)
+                if rec is not None:
+                    rec.wall_span(
+                        0, "lane", start, time.time(),
+                        {"config": missing[members[0]].config_name,
+                         "width": len(members), "worker": os.getpid()})
                 for pos, result in zip(members, lane):
                     results[pos] = result
         return results  # type: ignore[return-value]

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands cover the common entry points without writing any code::
+Nine subcommands cover the common entry points without writing any code::
 
     python -m repro simulate --workload apache --config invisi_sc --cores 8
     python -m repro figure 8 --cores 8 --ops 4000 --jobs 4
@@ -8,8 +8,13 @@ Eight subcommands cover the common entry points without writing any code::
     python -m repro sweep --configs sc,invisi_sc --workloads apache --jobs 4
     python -m repro workloads list
     python -m repro scenario run false-sharing-storm --jobs 4
+    python -m repro profile invisi_sc false-sharing-storm --trace-out trace.json
     python -m repro bench --output BENCH_kernel.json
     python -m repro tables
+
+Global ``-q/--quiet`` suppresses progress lines (``[campaign]``,
+``[artifacts]``, ...) leaving only primary results; ``-v/--verbose``
+adds diagnostic detail.
 
 ``simulate`` runs one workload (or scenario) under one named machine
 configuration and prints the runtime breakdown; ``figure`` regenerates one
@@ -46,6 +51,15 @@ subcommand accepts the same ``--jobs``/``--no-cache``/``--cache-dir`` flags
 and prefetches its whole cross-product through the campaign executor
 before formatting.
 
+``profile`` runs one (configuration, workload-or-scenario) cell with the
+telemetry recorder attached and prints the text profile (speculation
+episodes, batch-engine introspection, coherence traffic); ``--trace-out``
+additionally writes a Chrome trace-event JSON loadable in Perfetto
+(https://ui.perfetto.dev), ``--telemetry-out`` a schema-versioned metrics
+artifact.  ``study run``/``figure``/``scenario run``/``sweep`` accept
+``--telemetry`` to record campaign-level telemetry (per-job wall spans,
+cache tallies) and write ``telemetry.json``.
+
 ``bench`` times the execution kernel (ops/sec per controller kind), the
 campaign executor cold vs. cached, and scenario splicing, and writes
 ``BENCH_kernel.json`` (see :mod:`repro.bench.harness` for the schema).
@@ -67,6 +81,7 @@ from typing import List, Optional
 from .bench import (
     BenchPreset,
     check_against_baseline,
+    format_baseline_delta,
     format_bench_report,
     load_report,
     run_bench,
@@ -110,6 +125,12 @@ from .experiments.scenarios import SCENARIO_CONFIGS
 from .engine.simulator import simulate
 from .engine.system import ENGINE_KINDS
 from .errors import ReproError
+from .obs import (
+    TraceRecorder,
+    format_profile,
+    write_chrome_trace,
+    write_telemetry,
+)
 from .scenarios.registry import DEFAULT_SCENARIO_REGISTRY, scenario_names, scenario_spec
 from .stats.phases import format_phase_breakdown
 from .studies import DEFAULT_STUDY_REGISTRY, compile_plan, run_study, write_artifacts
@@ -143,12 +164,41 @@ _FIGURE_CONFIGS = {
     "scaling": SCALING_CONFIGS,
 }
 
+#: Console verbosity: -1 with ``--quiet``, 0 by default, 1 with ``--verbose``.
+_VERBOSITY = 0
+
+
+def _set_verbosity(level: int) -> None:
+    global _VERBOSITY
+    _VERBOSITY = level
+
+
+def _out(*parts: object) -> None:
+    """Primary results (tables, figures): printed even under ``--quiet``."""
+    print(*parts)
+
+
+def _info(*parts: object) -> None:
+    """Progress lines (``[campaign]``, ...): suppressed by ``--quiet``."""
+    if _VERBOSITY >= 0:
+        print(*parts)
+
+
+def _debug(*parts: object) -> None:
+    """Diagnostic detail: printed only with ``--verbose``."""
+    if _VERBOSITY >= 1:
+        print(*parts)
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="InvisiFence (ISCA 2009) reproduction: simulate workloads "
                     "and regenerate the paper's figures.")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress progress lines; print only results")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="print diagnostic detail")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sim = sub.add_parser("simulate",
@@ -262,6 +312,31 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(explicit flags override)")
     _add_campaign_flags(sc_run)
 
+    prof = sub.add_parser(
+        "profile", help="run one cell with the telemetry recorder attached "
+                        "and print/export its event profile")
+    prof.add_argument("config", choices=list(DEFAULT_REGISTRY.names()),
+                      help="configuration short-name")
+    prof.add_argument("workload",
+                      choices=workload_names() + list(scenario_names()),
+                      help="workload preset or scenario name")
+    prof.add_argument("--cores", type=_positive_int, default=None,
+                      help="cores per simulated machine (default: 8)")
+    prof.add_argument("--ops", type=_positive_int, default=None,
+                      help="operations per thread (default: 4000)")
+    prof.add_argument("--seed", type=int, default=1)
+    prof.add_argument("--warmup", type=float, default=0.2)
+    prof.add_argument("--engine", choices=list(ENGINE_KINDS), default="fast",
+                      help="execution kernel to trace (default: fast)")
+    prof.add_argument("--small", action="store_true",
+                      help="CI smoke preset: 2 cores, 600 ops "
+                           "(explicit flags override)")
+    prof.add_argument("--trace-out", type=str, default=None, metavar="FILE",
+                      help="write a Chrome trace-event JSON (open in "
+                           "https://ui.perfetto.dev)")
+    prof.add_argument("--telemetry-out", type=str, default=None, metavar="FILE",
+                      help="write the schema-versioned telemetry JSON artifact")
+
     bench = sub.add_parser(
         "bench", help="time the simulation kernel and write BENCH_kernel.json")
     bench.add_argument("--workload", choices=workload_names(), default="apache")
@@ -317,15 +392,38 @@ def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
                         help="execution kernel for missing cells; all engines "
                              "produce byte-identical results and share cache "
                              "entries (default: fast)")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="record campaign telemetry (per-job wall spans, "
+                             "cache tallies) and write telemetry.json")
 
 
 def _split(csv: str) -> tuple:
     return tuple(item for item in csv.split(",") if item)
 
 
+def _campaign_recorder(args: argparse.Namespace,
+                       command: str) -> Optional[TraceRecorder]:
+    """A :class:`TraceRecorder` when ``--telemetry`` was passed, else None."""
+    if not getattr(args, "telemetry", False):
+        return None
+    rec = TraceRecorder()
+    rec.meta.update({"command": command, "engine": args.engine,
+                     "jobs": args.jobs})
+    return rec
+
+
+def _write_campaign_telemetry(rec: Optional[TraceRecorder],
+                              out_dir: Optional[str] = None) -> None:
+    """Write ``telemetry.json`` for a campaign command's recorder."""
+    if rec is None:
+        return
+    path = write_telemetry(rec, Path(out_dir or ".") / "telemetry.json")
+    _info(f"[telemetry] wrote {path}")
+
+
 def _print_catalog(title: str, headers: List[str], rows: List[List[str]]) -> None:
     """Shared catalogue formatter for ``workloads list``/``scenario list``."""
-    print(format_table(headers, rows, title=title))
+    _out(format_table(headers, rows, title=title))
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -354,11 +452,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         ["commits / aborts", f"{stats.commits} / {stats.aborts}"],
         ["time speculating", f"{100 * result.speculation_fraction():.1f}%"],
     ]
-    print(format_table(["metric", "value"], rows,
-                       title="InvisiFence reproduction: simulation summary"))
+    _out(format_table(["metric", "value"], rows,
+                      title="InvisiFence reproduction: simulation summary"))
     if result.phase_stats:
-        print()
-        print(format_phase_breakdown(result))
+        _out("")
+        _out(format_phase_breakdown(result))
     return 0
 
 
@@ -397,23 +495,28 @@ def _cmd_study_run(args: argparse.Namespace) -> int:
     # One deduplicated plan covers every requested study; shared cells
     # (e.g. the sc baseline) are simulated exactly once.
     plan = compile_plan(specs, settings)
+    rec = _campaign_recorder(args, "study run")
+    if rec is not None:
+        rec.meta["studies"] = ",".join(spec.name for spec in specs)
     study_runner = plan.runner(jobs=args.jobs, cache=cache,
-                               engine=args.engine)
+                               engine=args.engine, recorder=rec)
     start = time.perf_counter()
     report = plan.execute(study_runner)
     elapsed = time.perf_counter() - start
-    print(f"[plan] {plan.describe()}")
+    _info(f"[plan] {plan.describe()}")
+    _debug(f"[plan] settings: {settings}")
     for spec in specs:
         result = run_study(spec, settings, study_runner=study_runner)
-        print()
-        print(result.format())
+        _out("")
+        _out(result.format())
         json_path, csv_path = write_artifacts(spec, settings,
                                               spec.tabulate(result),
                                               args.out_dir)
-        print(f"[artifacts] wrote {json_path} and {csv_path}")
-    print()
-    print(f"[campaign] {report.describe(cache)} in {elapsed:.1f}s, "
+        _info(f"[artifacts] wrote {json_path} and {csv_path}")
+    _info("")
+    _info(f"[campaign] {report.describe(cache)} in {elapsed:.1f}s, "
           f"--jobs {args.jobs}")
+    _write_campaign_telemetry(rec, args.out_dir)
     return 0
 
 
@@ -444,22 +547,24 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
                                   seeds=(args.seed,), workloads=(args.name,),
                                   warmup_fraction=args.warmup)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    rec = _campaign_recorder(args, "scenario run")
     executor = CampaignExecutor(settings, jobs=args.jobs, cache=cache,
-                                engine=args.engine)
+                                engine=args.engine, recorder=rec)
     cells = [Job(config, args.name, args.seed) for config in configs]
     results = executor.run(cells)
 
-    print(f"Scenario {spec.name}: {spec.description}")
-    print(f"phases: {' -> '.join(p.name for p in spec.phases)} "
-          f"({ops} ops/thread total, {cores} cores, seed {args.seed})")
+    _out(f"Scenario {spec.name}: {spec.description}")
+    _out(f"phases: {' -> '.join(p.name for p in spec.phases)} "
+         f"({ops} ops/thread total, {cores} cores, seed {args.seed})")
     for job, result in zip(cells, results):
-        print()
-        print(format_phase_breakdown(
+        _out("")
+        _out(format_phase_breakdown(
             result, title=f"{args.name} under {job.config_name}: "
                           f"per-phase stall breakdown (% of phase cycles)"))
-    print()
-    print(f"[campaign] {executor.last_report.describe(cache)}, "
+    _info("")
+    _info(f"[campaign] {executor.last_report.describe(cache)}, "
           f"--jobs {args.jobs}")
+    _write_campaign_telemetry(rec)
     return 0
 
 
@@ -477,13 +582,15 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     settings = ExperimentSettings(num_cores=cores, ops_per_thread=ops,
                                   seeds=args.seeds, workloads=workloads)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    rec = _campaign_recorder(args, f"figure {args.number}")
     runner = ExperimentRunner(settings, jobs=args.jobs, cache=cache,
-                              engine=args.engine)
+                              engine=args.engine, recorder=rec)
     runner.prefetch(_FIGURE_CONFIGS[args.number])
     result = _FIGURES[args.number](settings, runner)
-    print(result.format())
-    print(f"[campaign] {runner.executor.last_report.describe(cache)}, "
+    _out(result.format())
+    _info(f"[campaign] {runner.executor.last_report.describe(cache)}, "
           f"--jobs {args.jobs}")
+    _write_campaign_telemetry(rec)
     return 0
 
 
@@ -505,11 +612,13 @@ def _cmd_figure_scaling(args: argparse.Namespace) -> int:
                                   ops_per_thread=ops, seeds=args.seeds,
                                   workloads=scenarios)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    rec = _campaign_recorder(args, "figure scaling")
     result = run_scaling(settings, core_counts=core_counts,
                          scenarios=scenarios, jobs=args.jobs, cache=cache,
-                         engine=args.engine)
-    print(result.format())
-    print(f"[campaign] {result.report.describe(cache)}, --jobs {args.jobs}")
+                         engine=args.engine, recorder=rec)
+    _out(result.format())
+    _info(f"[campaign] {result.report.describe(cache)}, --jobs {args.jobs}")
+    _write_campaign_telemetry(rec)
     return 0
 
 
@@ -526,8 +635,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                                   seeds=seeds, workloads=workloads,
                                   warmup_fraction=args.warmup)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    rec = _campaign_recorder(args, "sweep")
     executor = CampaignExecutor(settings, jobs=args.jobs, cache=cache,
-                                engine=args.engine)
+                                engine=args.engine, recorder=rec)
     cells = expand_jobs(configs, workloads, seeds)
 
     start = time.perf_counter()
@@ -537,12 +647,44 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     rows = [[job.config_name, job.workload, str(job.seed),
              f"{result.cycles_per_core():.0f}", str(result.runtime)]
             for job, result in zip(cells, results)]
-    print(format_table(["config", "workload", "seed", "cycles/core", "runtime"],
-                       rows,
-                       title=f"Campaign sweep: {len(cells)} cells at "
-                             f"{cores} cores, {ops} ops/thread"))
-    print(f"[campaign] {executor.last_report.describe(cache)} "
+    _out(format_table(["config", "workload", "seed", "cycles/core", "runtime"],
+                      rows,
+                      title=f"Campaign sweep: {len(cells)} cells at "
+                            f"{cores} cores, {ops} ops/thread"))
+    _info(f"[campaign] {executor.last_report.describe(cache)} "
           f"in {elapsed:.1f}s with --jobs {args.jobs}")
+    _write_campaign_telemetry(rec)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    cores = args.cores if args.cores is not None else (2 if args.small else 8)
+    ops = args.ops if args.ops is not None else (600 if args.small else 4000)
+    settings = ExperimentSettings(num_cores=cores, ops_per_thread=ops,
+                                  seeds=(args.seed,),
+                                  warmup_fraction=args.warmup)
+    trace = build_trace(args.workload, num_threads=cores,
+                        ops_per_thread=ops, seed=args.seed)
+    rec = TraceRecorder()
+    rec.meta.update({"config": args.config, "workload": args.workload,
+                     "cores": cores, "ops_per_thread": ops,
+                     "seed": args.seed, "engine": args.engine})
+    start = time.perf_counter()
+    result = simulate(make_config(args.config, settings), trace,
+                      warmup_fraction=args.warmup, engine=args.engine,
+                      recorder=rec)
+    elapsed = time.perf_counter() - start
+    _out(format_profile(rec))
+    _info(f"[profile] {result.runtime} simulated cycles in {elapsed:.2f}s wall")
+    _debug(f"[profile] {len(rec.spans)} spans, {len(rec.instants)} instants, "
+           f"{len(rec.counters)} counters")
+    if args.trace_out:
+        path = write_chrome_trace(rec, args.trace_out)
+        _info(f"[profile] wrote Chrome trace {path} "
+              f"(open in https://ui.perfetto.dev)")
+    if args.telemetry_out:
+        path = write_telemetry(rec, args.telemetry_out)
+        _info(f"[profile] wrote {path}")
     return 0
 
 
@@ -563,8 +705,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
         report = run_bench(preset, cache_dir=Path(tmp))
     write_report(report, Path(args.output))
-    print(format_bench_report(report))
-    print(f"[bench] wrote {args.output}")
+    _out(format_bench_report(report))
+    _info(f"[bench] wrote {args.output}")
     if args.check:
         try:
             baseline = load_report(Path(args.check))
@@ -572,25 +714,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             raise ReproError(f"cannot read bench baseline {args.check}: {exc}")
         failures = check_against_baseline(report, baseline,
                                           tolerance=args.tolerance)
+        _out(f"[bench] delta vs baseline {args.check}:")
+        _out(format_baseline_delta(report, baseline))
         if failures:
             for failure in failures:
                 print(f"[bench] REGRESSION: {failure}", file=sys.stderr)
             return 1
-        print(f"[bench] within {args.tolerance:.0%} of baseline {args.check}")
+        _out(f"[bench] within {args.tolerance:.0%} of baseline {args.check}")
     return 0
 
 
 def _cmd_tables(_: argparse.Namespace) -> int:
     for text in (figure2_table(), figure4_table(), figure5_table(),
                  figure6_table(), figure7_table()):
-        print(text)
-        print()
+        _out(text)
+        _out("")
     return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    _set_verbosity(-1 if args.quiet else (1 if args.verbose else 0))
     commands = {
         "simulate": _cmd_simulate,
         "figure": _cmd_figure,
@@ -598,6 +743,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "workloads": _cmd_workloads,
         "scenario": _cmd_scenario,
+        "profile": _cmd_profile,
         "bench": _cmd_bench,
         "tables": _cmd_tables,
     }

@@ -34,6 +34,7 @@ from ..interconnect.topology import TorusTopology
 from ..memory.address import block_mask
 from ..memory.block import CoherenceState
 from ..memory.cache import CacheArray
+from ..obs.recorder import COHERENCE_TID_BASE, active
 from .directory import Directory
 from .l2 import L2Cache
 from .messages import AccessOutcome, ConflictResolution, TransactionKind, TransactionRecord
@@ -60,7 +61,7 @@ class MemorySystem:
     """Directory-coherent memory hierarchy shared by all cores."""
 
     def __init__(self, config: SystemConfig, record_transactions: bool = False,
-                 fast_path: bool = True) -> None:
+                 fast_path: bool = True, recorder=None) -> None:
         self._config = config
         self._topology = TorusTopology(config.interconnect)
         self._latency = LatencyModel(config, self._topology)
@@ -83,6 +84,10 @@ class MemorySystem:
         #: The batch engine keeps its packed residency tables fresh with
         #: this; when unset (the default) the hook costs one None check.
         self._state_watcher = None
+        #: observability slot; same single-``if`` discipline as the state
+        #: watcher.  Only the transaction engine hooks it, never the
+        #: allocation-free hit fast paths.
+        self._obs = active(recorder)
         self.transactions: List[TransactionRecord] = []
         # simple per-core counters
         self.l1_hits = [0] * config.num_cores
@@ -267,6 +272,12 @@ class MemorySystem:
             entry.owner = None
         entry.sharers.discard(core_id)
 
+        if self._obs is not None:
+            self._obs.count("coherence.transactions")
+            self._obs.sim_instant(
+                COHERENCE_TID_BASE + core_id, f"dir.{kind.name.lower()}",
+                start, {"block": hex(baddr), "home": home})
+
         # Record objects are for analysis only; skip building them (two list
         # allocations each) unless transaction recording is on.
         record = None
@@ -388,9 +399,11 @@ class MemorySystem:
                               start: int, record: TransactionRecord) -> int:
         """Invalidate all sharers of a block being written; return ack time."""
         worst = start
+        fanout = 0
         for sharer in sorted(entry.sharers):
             if sharer == core_id:
                 continue
+            fanout += 1
             if record is not None:
                 record.invalidated_sharers.append(sharer)
             arrival = self._latency.traverse(home, sharer, start)
@@ -408,6 +421,9 @@ class MemorySystem:
                 if self._state_watcher is not None:
                     self._state_watcher(sharer, baddr, 0)
             worst = max(worst, ack)
+        if self._obs is not None and fanout:
+            self._obs.count("coherence.invalidations", fanout)
+            self._obs.observe("coherence.inval_fanout", fanout)
         return worst
 
     def _resolve_conflict(self, victim: int, baddr: int, is_write: bool,

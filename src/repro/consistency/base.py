@@ -56,6 +56,9 @@ class ConsistencyController:
         self._sb_coalescing = isinstance(self.sb, CoalescingStoreBuffer)
         #: cached fast-path flag of the memory system (immutable per run).
         self._mem_fast = self.mem.fast
+        #: observability slot (``None`` when telemetry is off); captured
+        #: from the core, where ``build_system`` places it before attach.
+        self._obs = core.obs
 
     # ------------------------------------------------------------------
     # Interface used by the Core
@@ -77,6 +80,9 @@ class ConsistencyController:
         drain = self.sb.drain_time(now)
         if drain > now:
             self.stats.add_cycles("sb_drain", drain - now)
+            if self._obs is not None:
+                self._obs.sim_span(self.core_id, "sb.drain", now, drain,
+                                   {"at": "trace-end"})
             return ("wait", drain)
         return ("done", now)
 
@@ -127,6 +133,8 @@ class ConsistencyController:
         if free_at <= now:
             raise SimulationError("store buffer reported full but no release time")
         self._account("sb_full", free_at - now)
+        if self._obs is not None:
+            self._obs.sim_span(self.core_id, "sb.full", now, free_at)
         return free_at
 
     def _drain_store_buffer(self, now: int, category: str = "sb_drain") -> int:
@@ -134,6 +142,9 @@ class ConsistencyController:
         drain = self.sb.drain_time(now)
         if drain > now:
             self._account(category, drain - now)
+            if self._obs is not None:
+                self._obs.sim_span(self.core_id, "sb.drain", now, drain,
+                                   {"at": category})
         return max(drain, now)
 
     def _do_load(self, op: MemOp, now: int,

@@ -60,6 +60,10 @@ class SpeculativeController(ConsistencyController):
         self._defer_conflicts_until_commit = False
         #: set by subclasses that need the guard (continuous speculation).
         self._use_forward_progress_deferral = False
+        #: start time of the current speculation episode (observability
+        #: only; written when the first checkpoint of an episode is taken
+        #: and read when the episode's closing span is recorded).
+        self._obs_episode_start = 0
 
     # ------------------------------------------------------------------
     # Status
@@ -102,6 +106,8 @@ class SpeculativeController(ConsistencyController):
         self._checkpoints.append(checkpoint)
         if len(self._checkpoints) == 1:
             self.stats.speculations += 1
+            if self._obs is not None:
+                self._obs_episode_start = now
         return checkpoint
 
     def commit_all(self, now: int, cov: bool = False) -> None:
@@ -115,6 +121,11 @@ class SpeculativeController(ConsistencyController):
         if cov:
             self.stats.cov_commits += 1
         self._credit_spec_cycles_on_commit(now, first)
+        if self._obs is not None:
+            self._obs.sim_span(
+                self.core_id, "spec.episode", self._obs_episode_start, now,
+                {"outcome": "cov-commit" if cov else "commit",
+                 "checkpoints": len(self._checkpoints)})
         self._checkpoints.clear()
         self._defer_conflicts_until_commit = False
         self._end_episode()
@@ -131,11 +142,22 @@ class SpeculativeController(ConsistencyController):
         self._defer_conflicts_until_commit = False
         self._checkpoints.pop(0)
         if not self._checkpoints:
+            if self._obs is not None:
+                self._obs.sim_span(
+                    self.core_id, "spec.episode",
+                    self._obs_episode_start, now, {"outcome": "commit"})
             self._end_episode()
         self._after_commit(now)
 
-    def abort_to(self, checkpoint: Checkpoint, now: int, cov: bool = False) -> None:
-        """Abort ``checkpoint`` and every younger one, rolling the core back."""
+    def abort_to(self, checkpoint: Checkpoint, now: int, cov: bool = False,
+                 cause: str = "conflict") -> None:
+        """Abort ``checkpoint`` and every younger one, rolling the core back.
+
+        ``cause`` labels the rollback for telemetry only (it never affects
+        simulated behaviour): ``"external-write"`` / ``"external-read"``
+        for conflict-triggered aborts, ``"cov-timeout"`` when a
+        commit-on-violate deferral missed its deadline.
+        """
         if checkpoint not in self._checkpoints:
             raise SpeculationError("cannot abort to an inactive checkpoint")
         index = self._checkpoints.index(checkpoint)
@@ -158,6 +180,19 @@ class SpeculativeController(ConsistencyController):
             l1.flash_invalidate_spec_written()
             self.sb.flash_invalidate_speculative(now)
 
+        if self._obs is not None:
+            rolled_back = max(0, self.core.trace_index - checkpoint.trace_index)
+            self._obs.count(f"spec.abort.{cause}")
+            if kept:
+                self._obs.sim_instant(
+                    self.core_id, "spec.partial-abort", now,
+                    {"cause": cause, "rolled_back": rolled_back})
+            else:
+                self._obs.sim_span(
+                    self.core_id, "spec.episode",
+                    self._obs_episode_start, now,
+                    {"outcome": "abort", "cause": cause,
+                     "rolled_back": rolled_back, "cov": cov})
         self._checkpoints = kept
         if not kept:
             self._end_episode()
@@ -246,9 +281,11 @@ class SpeculativeController(ConsistencyController):
 
         epoch = self._spec_epoch
         ckpt_id = target.checkpoint_id
+        cause = "external-write" if is_write else "external-read"
         self.core.schedule_call(
             arrival_time,
-            lambda now, e=epoch, c=ckpt_id: self._deferred_abort(now, e, c, cov=False),
+            lambda now, e=epoch, c=ckpt_id, x=cause:
+                self._deferred_abort(now, e, c, cov=False, cause=x),
         )
         return ConflictResolution(extra_delay=0, aborted=True)
 
@@ -267,7 +304,8 @@ class SpeculativeController(ConsistencyController):
         ckpt_id = target.checkpoint_id
         self.core.schedule_call(
             deadline,
-            lambda now, e=epoch, c=ckpt_id: self._deferred_abort(now, e, c, cov=True),
+            lambda now, e=epoch, c=ckpt_id:
+                self._deferred_abort(now, e, c, cov=True, cause="cov-timeout"),
         )
         return ConflictResolution(extra_delay=deadline - arrival_time, deferred=True)
 
@@ -291,14 +329,14 @@ class SpeculativeController(ConsistencyController):
         return self._checkpoints[0]
 
     def _deferred_abort(self, now: int, epoch: int, checkpoint_id: int,
-                        cov: bool) -> None:
+                        cov: bool, cause: str = "conflict") -> None:
         if epoch != self._spec_epoch or not self.speculating:
             return
         target = next((c for c in self._checkpoints
                        if c.checkpoint_id == checkpoint_id), None)
         if target is None:
             target = self._checkpoints[0]
-        self.abort_to(target, now, cov=cov)
+        self.abort_to(target, now, cov=cov, cause=cause)
 
     def _cov_commit(self, now: int, epoch: int, deadline: int) -> None:
         """Try to complete a commit-on-violate deferral."""
@@ -316,7 +354,8 @@ class SpeculativeController(ConsistencyController):
             oldest = self._checkpoints[0].checkpoint_id
             self.core.schedule_call(
                 deadline,
-                lambda t, e=epoch, c=oldest: self._deferred_abort(t, e, c, cov=True),
+                lambda t, e=epoch, c=oldest:
+                    self._deferred_abort(t, e, c, cov=True, cause="cov-timeout"),
             )
 
     def on_measurement_reset(self) -> None:
@@ -334,6 +373,8 @@ class SpeculativeController(ConsistencyController):
             return now
         done = max(now, self.sb.drain_time(now))
         self.stats.forced_commits += 1
+        if self._obs is not None:
+            self._obs.count("spec.forced_commits")
         self.commit_all(done)
         return done
 

@@ -76,6 +76,10 @@ class Core:
         self.events = events
         self.stats = CoreStats()
         self.controller: Optional["ConsistencyController"] = None
+        #: observability slot: ``None`` (telemetry off) or an *enabled*
+        #: recorder (see :mod:`repro.obs`).  Set by ``build_system`` before
+        #: the controller is attached, so controllers can capture it.
+        self.obs = None
         #: True for the batched fast path, False for the one-event-per-op
         #: reference path (kept for differential equivalence testing).
         self.batching = batching

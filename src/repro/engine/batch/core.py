@@ -90,10 +90,13 @@ class BatchCore(Core):
         budget = _MAX_INLINE_BATCH
         cool = -1
         bp = self._bp
+        obs = self.obs
         if bp is not None and bp.length != trace_len:
             # The trace was mutated after the lane stack was built; the
             # static tables no longer line up, so run purely exact.
             bp = self._bp = None
+            if obs is not None:
+                obs.count("batch.optout.stale-profile")
         while True:
             if not self._warmup_done or self._next_bound < len(self._inner_bounds):
                 self._pre_op()
@@ -142,6 +145,11 @@ class BatchCore(Core):
                     if tries >= _ADAPT_ATTEMPTS \
                             and self._bulk_gain < tries * _MIN_GAIN:
                         bp = self._bp = None
+                        if obs is not None:
+                            obs.count("batch.optout.adaptive")
+                            obs.sim_instant(
+                                self.core_id, "batch.optout", now,
+                                {"tries": tries, "gain": self._bulk_gain})
             finish = process_op(ops[index], now)
             if finish < now:
                 raise SimulationError(
@@ -175,6 +183,7 @@ class BatchCore(Core):
         inline chain (the caller processes ops through the exact kernel
         and skips bulk attempts until then).
         """
+        obs = self.obs
         # Static caps: next atomic (or padded trace end), warmup boundary,
         # next phase boundary, the inline budget, and the attempt cap.
         end = int(bp.next_break[k])
@@ -187,6 +196,8 @@ class BatchCore(Core):
                 end = bound
         count = end - k
         if count < _MIN_STRETCH:
+            if obs is not None:
+                obs.count("batch.decline.short")
             return end
         if count > budget:
             count = budget
@@ -211,18 +222,22 @@ class BatchCore(Core):
             if not bp.fifo:
                 # Coalescing entries coalesce with same-block stores; wait
                 # for the buffer to empty rather than model that.
+                if obs is not None:
+                    obs.count("batch.decline.coalescing-sb")
                 return k + 1
-            obs = int(bp.next_obs[k])
-            if obs < k + count:
-                t_obs = int(b0[obs]) + base
+            next_obs = int(bp.next_obs[k])
+            if next_obs < k + count:
+                t_obs = int(b0[next_obs]) + base
                 if t_obs < stale:
-                    if bp.is_store[obs]:
-                        count = obs - k
+                    if bp.is_store[next_obs]:
+                        count = next_obs - k
                         if count < _MIN_STRETCH:
+                            if obs is not None:
+                                obs.count("batch.decline.stale-sb")
                             return k + 1
                     else:
                         delta = stale - t_obs
-                        obs_rel = obs - k
+                        obs_rel = next_obs - k
 
         events = self.events
         heap = events._heap
@@ -245,6 +260,8 @@ class BatchCore(Core):
             if count < _MIN_STRETCH:
                 # The head is fixed for the rest of this inline chain, and
                 # finish times only grow as the chain advances toward it.
+                if obs is not None:
+                    obs.count("batch.decline.head-cap")
                 return bp.length
 
         # Residency: every load hits, every store has write permission.
@@ -263,6 +280,8 @@ class BatchCore(Core):
                 if count < _MIN_STRETCH:
                     # Residency only changes across chain boundaries (our
                     # own hits preserve state; misses break the chain).
+                    if obs is not None:
+                        obs.count("batch.decline.residency")
                     return bad + 1
                 j = k + count
                 hi = int(mem_pos.searchsorted(j))
@@ -314,6 +333,8 @@ class BatchCore(Core):
                 if cap < count:
                     count = cap
             if count < _MIN_STRETCH:
+                if obs is not None:
+                    obs.count("batch.decline.horizon")
                 return bp.length
             j = k + count
             hi = int(mem_pos.searchsorted(j))
@@ -441,5 +462,8 @@ class BatchCore(Core):
                 if peak > sb.peak_occupancy:
                     sb.peak_occupancy = peak
 
+        if obs is not None:
+            obs.count("batch.retired", count)
+            obs.observe("batch.stretch_len", count)
         self._index = j
         return count, last, prev_last, head

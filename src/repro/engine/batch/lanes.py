@@ -22,7 +22,8 @@ from .profile import build_lane_profiles
 def simulate_batch(config: SystemConfig,
                    traces: Sequence[MultiThreadedTrace],
                    warmup_fraction: float = 0.0,
-                   max_events: Optional[int] = None) -> List["RunResult"]:
+                   max_events: Optional[int] = None,
+                   recorder=None) -> List["RunResult"]:
     """Simulate every trace under ``config`` with the batch engine.
 
     Returns results in trace order.  Ineligible configurations
@@ -38,7 +39,8 @@ def simulate_batch(config: SystemConfig,
     for run, trace in enumerate(traces):
         system = build_system(
             config, trace, warmup_fraction=warmup_fraction, engine="batch",
-            lane=(profiles, run) if profiles is not None else None)
+            lane=(profiles, run) if profiles is not None else None,
+            recorder=recorder)
         results.append(Simulator(system).run(max_events=max_events,
                                              seed=trace.seed))
     return results

@@ -6,6 +6,7 @@ from typing import Optional
 
 from ..config import SystemConfig
 from ..errors import SimulationError
+from ..obs.recorder import Recorder
 from ..trace.trace import MultiThreadedTrace
 from .results import RunResult
 from .system import System, build_system, validate_engine
@@ -48,6 +49,8 @@ class Simulator:
                     f"simulation stalled with cores {unfinished} unfinished "
                     f"after {processed} events"
                 )
+        if system.recorder is not None:
+            collect_run_gauges(system, system.recorder)
         phase_names = system.phase_names
         phase_stats = None
         if phase_names:
@@ -66,9 +69,35 @@ class Simulator:
         )
 
 
+def collect_run_gauges(system: System, rec: Recorder) -> None:
+    """Fold a finished run's end-of-run gauges into the recorder.
+
+    Store-buffer high-water marks and the memory system's per-core tallies
+    are plain attributes maintained unconditionally; collecting them once
+    at run end keeps them out of the hot paths entirely.
+    """
+    for core in system.cores:
+        controller = core.controller
+        if controller is None:
+            continue
+        sb = controller.sb
+        rec.observe("sb.peak_occupancy", sb.peak_occupancy)
+        rec.count("sb.inserted", sb.total_inserted)
+        rec.count("sb.flash_invalidated", sb.flash_invalidated)
+        coalesced = getattr(sb, "coalesced", 0)
+        if coalesced:
+            rec.count("sb.coalesced", coalesced)
+    memory = system.memory
+    rec.count("coherence.l1_hits", sum(memory.l1_hits))
+    rec.count("coherence.l1_misses", sum(memory.l1_misses))
+    rec.count("coherence.upgrades", sum(memory.upgrades))
+    rec.count("coherence.conflicts", memory.conflicts_detected)
+
+
 def simulate(config: SystemConfig, trace: MultiThreadedTrace,
              max_events: Optional[int] = None,
-             warmup_fraction: float = 0.0, engine: str = "fast") -> RunResult:
+             warmup_fraction: float = 0.0, engine: str = "fast",
+             recorder: Optional[Recorder] = None) -> RunResult:
     """Convenience wrapper: build a system for ``trace`` and run it.
 
     ``engine`` selects the execution kernel: ``"fast"`` (compiled traces,
@@ -80,5 +109,5 @@ def simulate(config: SystemConfig, trace: MultiThreadedTrace,
     """
     validate_engine(engine)
     system = build_system(config, trace, warmup_fraction=warmup_fraction,
-                          engine=engine)
+                          engine=engine, recorder=recorder)
     return Simulator(system).run(max_events=max_events, seed=trace.seed)

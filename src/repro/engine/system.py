@@ -29,6 +29,7 @@ from ..core.continuous import InvisiFenceContinuous
 from ..core.selective import InvisiFenceSelective
 from ..cpu.core import Core
 from ..errors import ConfigurationError
+from ..obs.recorder import Recorder, active
 from ..trace.trace import MultiThreadedTrace
 from .events import EventQueue
 
@@ -58,6 +59,9 @@ class System:
     workload_name: str = "anonymous"
     #: phase labels for phase-structured traces (scenario runs).
     phase_names: Optional[Tuple[str, ...]] = None
+    #: the *active* recorder wired through every component, or ``None``
+    #: when telemetry is off (see :mod:`repro.obs`).
+    recorder: Optional[Recorder] = None
 
     def start(self) -> None:
         """Schedule the first step of every core."""
@@ -100,7 +104,7 @@ def validate_engine(engine: str) -> str:
 
 def build_system(config: SystemConfig, trace: MultiThreadedTrace,
                  warmup_fraction: float = 0.0, engine: str = "fast",
-                 lane=None) -> System:
+                 lane=None, recorder: Optional[Recorder] = None) -> System:
     """Build a system running ``trace`` under ``config``.
 
     The trace must provide at least as many threads as the configuration
@@ -113,6 +117,12 @@ def build_system(config: SystemConfig, trace: MultiThreadedTrace,
     ``lane`` is internal plumbing for :func:`repro.engine.batch.lanes.
     simulate_batch`: a ``(LaneProfiles, run_index)`` pair reusing a
     profile stack already built for a whole group of runs.
+
+    ``recorder`` attaches the observability layer: hooks throughout the
+    stack record speculation episodes, stall spans, coherence events, and
+    batch-engine decisions into it.  ``None`` or a disabled recorder
+    leaves every hook behind its single ``is not None`` check; recorders
+    only observe, so results are byte-identical either way.
     """
     if trace.num_threads < config.num_cores:
         raise ConfigurationError(
@@ -122,6 +132,7 @@ def build_system(config: SystemConfig, trace: MultiThreadedTrace,
     if not 0.0 <= warmup_fraction < 1.0:
         raise ConfigurationError("warmup_fraction must lie in [0, 1)")
     validate_engine(engine)
+    rec = active(recorder)
     batch = engine == "batch"
     fast = engine != "reference"
     profiles = run_index = None
@@ -136,7 +147,7 @@ def build_system(config: SystemConfig, trace: MultiThreadedTrace,
             profiles = build_lane_profiles(config, [trace])
             run_index = 0
     events = EventQueue()
-    memory = MemorySystem(config, fast_path=fast)
+    memory = MemorySystem(config, fast_path=fast, recorder=rec)
     if profiles is not None:
         memory.set_state_watcher(profiles.make_watcher(run_index))
     cores: List[Core] = []
@@ -153,8 +164,10 @@ def build_system(config: SystemConfig, trace: MultiThreadedTrace,
             core = Core(core_id, thread_trace, config, memory, events,
                         warmup_ops=warmup_ops, phase_bounds=phase_bounds,
                         batching=fast)
+        core.obs = rec
         controller = make_controller(core)
         core.attach_controller(controller)
         cores.append(core)
     return System(config=config, events=events, memory=memory, cores=cores,
-                  workload_name=trace.name, phase_names=trace.phase_names)
+                  workload_name=trace.name, phase_names=trace.phase_names,
+                  recorder=rec)

@@ -127,10 +127,11 @@ class ExperimentRunner:
     def __init__(self, settings: ExperimentSettings, jobs: int = 1,
                  cache: Optional[ResultCache] = None,
                  registry: Optional[ConfigRegistry] = None,
-                 engine: str = "fast") -> None:
+                 engine: str = "fast", recorder=None) -> None:
         self.settings = settings
         self.executor = CampaignExecutor(settings, jobs=jobs, cache=cache,
-                                         registry=registry, engine=engine)
+                                         registry=registry, engine=engine,
+                                         recorder=recorder)
         #: what the last :meth:`run_jobs` call actually did.
         self.last_report = CampaignReport()
         self._results: Dict[Tuple[str, str, int], RunResult] = {}
@@ -154,6 +155,7 @@ class ExperimentRunner:
             tally = self.executor.last_report
             report.simulated = tally.simulated
             report.cache_hits = tally.cache_hits
+            report.cache_stats = tally.cache_stats
         self.last_report = report
         return [self._results[(job.config_name, job.workload, job.seed)]
                 for job in jobs]

@@ -167,7 +167,7 @@ def run_scaling(settings: Optional[ExperimentSettings] = None,
                 scenarios: Sequence[str] = SCALING_SCENARIOS,
                 jobs: int = 1,
                 cache: Optional[ResultCache] = None,
-                engine: str = "fast") -> ScalingResult:
+                engine: str = "fast", recorder=None) -> ScalingResult:
     """Run the scaling sweep: (core count x config x scenario x seed).
 
     ``settings`` supplies trace length, seeds, and the warmup fraction;
@@ -177,4 +177,5 @@ def run_scaling(settings: Optional[ExperimentSettings] = None,
     byte-identical tables and cache entries.
     """
     return run_study(scaling_study(core_counts, configs, scenarios),
-                     settings, jobs=jobs, cache=cache, engine=engine)
+                     settings, jobs=jobs, cache=cache, engine=engine,
+                     recorder=recorder)

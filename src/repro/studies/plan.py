@@ -52,10 +52,11 @@ class StudyPlan:
 
     def runner(self, jobs: int = 1,
                cache: Optional[ResultCache] = None,
-               engine: str = "fast") -> StudyRunner:
+               engine: str = "fast", recorder=None) -> StudyRunner:
         """A study runner wired to this plan's merged registry."""
         return StudyRunner(self.settings, jobs=jobs, cache=cache,
-                           registry=self.registry(), engine=engine)
+                           registry=self.registry(), engine=engine,
+                           recorder=recorder)
 
     def execute(self, study_runner: StudyRunner) -> CampaignReport:
         """Run the union once -- the single prefetch for every study."""

@@ -19,7 +19,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Mapping, Optional, Sequence, TYPE_CHECKING, Union
 
-from ..campaign.cache import ResultCache
+from ..campaign.cache import CacheStats, ResultCache
 from ..campaign.executor import CampaignReport
 from ..campaign.registry import ConfigFactory, ConfigRegistry, DEFAULT_REGISTRY
 from ..engine.results import RunResult
@@ -62,11 +62,12 @@ class StudyRunner:
                  cache: Optional[ResultCache] = None,
                  registry: Optional[ConfigRegistry] = None,
                  base_runner: Optional["ExperimentRunner"] = None,
-                 engine: str = "fast") -> None:
+                 engine: str = "fast", recorder=None) -> None:
         self.settings = settings
         self.jobs = jobs
         self.cache = cache
         self.engine = engine
+        self.recorder = recorder
         self._runners: Dict[int, "ExperimentRunner"] = {}
         if base_runner is not None:
             # Adopt the caller's runner (and its memoized results) for the
@@ -98,7 +99,8 @@ class StudyRunner:
                 else dataclasses.replace(self.settings, num_cores=num_cores)
             self._runners[num_cores] = ExperimentRunner(
                 scaled, jobs=self.jobs, cache=self.cache,
-                registry=self.registry, engine=self.engine)
+                registry=self.registry, engine=self.engine,
+                recorder=self.recorder)
         return self._runners[num_cores]
 
     def run_cells(self, cells: Sequence[StudyCell]) -> CampaignReport:
@@ -120,6 +122,13 @@ class StudyRunner:
             total.simulated += tally.simulated
             total.cache_hits += tally.cache_hits
             total.deduplicated += tally.deduplicated
+            if tally.cache_stats is not None:
+                base = total.cache_stats
+                total.cache_stats = tally.cache_stats if base is None \
+                    else CacheStats(
+                        hits=base.hits + tally.cache_stats.hits,
+                        misses=base.misses + tally.cache_stats.misses,
+                        stores=base.stores + tally.cache_stats.stores)
         return total
 
 
@@ -182,7 +191,7 @@ def run_study(study: Union[str, StudySpec],
               jobs: int = 1,
               cache: Optional[ResultCache] = None,
               out_dir: Optional[Union[str, "Path"]] = None,
-              engine: str = "fast"):
+              engine: str = "fast", recorder=None):
     """Execute one study end to end; returns its result object.
 
     ``study`` is a :class:`StudySpec` or a name registered in
@@ -202,7 +211,8 @@ def run_study(study: Union[str, StudySpec],
         settings = ExperimentSettings()
     if study_runner is None:
         study_runner = StudyRunner(settings, jobs=jobs, cache=cache,
-                                   base_runner=runner, engine=engine)
+                                   base_runner=runner, engine=engine,
+                                   recorder=recorder)
     study_runner.require_configs(spec.extra_configs)
     report = study_runner.run_cells(spec.cells(settings))
     result = spec.build(StudyContext(spec, settings, study_runner, report))

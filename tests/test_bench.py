@@ -9,6 +9,7 @@ from repro.bench import (
     BENCH_SCHEMA_VERSION,
     BenchPreset,
     check_against_baseline,
+    format_baseline_delta,
     format_bench_report,
     load_report,
     run_bench,
@@ -74,6 +75,16 @@ class TestBenchReport:
             assert width["speedup"] > 0
         assert batch["studies_cold_seconds"] > 0
 
+    def test_telemetry_section_timed(self, report):
+        """Schema v5: disabled-recorder overhead is measured and exported."""
+        telemetry = report["telemetry"]
+        assert telemetry["config"] == "sc"
+        assert telemetry["total_ops"] >= 2 * 2000  # dedicated ops floor
+        assert telemetry["off_seconds"] > 0
+        assert telemetry["null_seconds"] > 0
+        assert telemetry["traced_seconds"] > 0
+        assert telemetry["overhead_frac"] < 0.02  # the zero-overhead contract
+
     def test_round_trips_through_disk(self, report, tmp_path):
         path = tmp_path / "BENCH_kernel.json"
         write_report(report, path)
@@ -138,6 +149,46 @@ class TestBaselineCheck:
         fresh["batch"]["widths"][0]["identical"] = False
         failures = check_against_baseline(fresh, copy.deepcopy(report))
         assert any("byte-identical" in failure for failure in failures)
+
+    def test_telemetry_overhead_gate(self, report):
+        """A disabled recorder costing >2% of throughput fails the check."""
+        fresh = copy.deepcopy(report)
+        fresh["telemetry"]["overhead_frac"] = 0.50
+        failures = check_against_baseline(fresh, copy.deepcopy(report))
+        assert any("telemetry" in failure and "50.00%" in failure
+                   for failure in failures)
+        # A custom tolerance lets the inflated report through.
+        assert check_against_baseline(fresh, copy.deepcopy(report),
+                                      telemetry_tolerance=0.60) == []
+
+    def test_missing_telemetry_section_is_a_failure(self, report):
+        fresh = copy.deepcopy(report)
+        del fresh["telemetry"]
+        failures = check_against_baseline(fresh, copy.deepcopy(report))
+        assert any("telemetry section missing" in failure
+                   for failure in failures)
+
+
+class TestBaselineDelta:
+    def test_delta_table_covers_every_section(self, report):
+        text = format_baseline_delta(report, copy.deepcopy(report))
+        for label in ("kernel sc", "scenario splice", "geometry",
+                      "batch width", "telemetry null recorder",
+                      "telemetry overhead"):
+            assert label in text
+        assert "+0.0%" in text  # identical reports: all deltas are zero
+
+    def test_delta_table_shows_signed_movement(self, report):
+        baseline = copy.deepcopy(report)
+        for kernel in baseline["kernels"]:
+            kernel["ops_per_sec"] = kernel["ops_per_sec"] / 2  # we got faster
+        text = format_baseline_delta(report, baseline)
+        assert "+100.0%" in text
+
+    def test_delta_table_tolerates_missing_baseline_sections(self, report):
+        text = format_baseline_delta(report, {"schema": BENCH_SCHEMA_VERSION})
+        assert "telemetry overhead" in text
+        assert "n/a" in text
 
 
 class TestBenchCLI:

@@ -343,3 +343,42 @@ class TestBatchCampaignIntegration:
         fast = CampaignExecutor(settings, engine="fast").run(jobs)
         for a, b in zip(batch, fast):
             assert a.to_json() == b.to_json()
+
+
+@pytest.mark.parametrize("engine", ("fast", "reference", "batch"))
+@pytest.mark.parametrize("config_name", CONTROLLER_CONFIGS)
+class TestTelemetryInvariance:
+    """Recording telemetry must never change what is simulated.
+
+    Recorders only observe -- they never schedule events or advance
+    clocks -- so a run with a live :class:`TraceRecorder` attached must be
+    byte-identical to the same run with telemetry off, on every engine and
+    controller kind.  The contended scenario is the interesting case: the
+    abort/rollback hooks sit on the exact paths speculation exercises.
+    """
+
+    def test_traced_run_byte_identical_to_untraced(self, engine, config_name):
+        from repro.obs import TraceRecorder
+
+        trace = build_trace("false-sharing-storm", num_threads=_CORES,
+                            ops_per_thread=_OPS, seed=3)
+        config = make_config(config_name, _settings(warmup=0.2))
+        plain = simulate(config, trace, warmup_fraction=0.2, engine=engine)
+        recorder = TraceRecorder()
+        traced = simulate(config, trace, warmup_fraction=0.2, engine=engine,
+                          recorder=recorder)
+        assert plain.to_json() == traced.to_json()
+        # The recorder saw the run: at minimum the end-of-run gauges.
+        assert recorder.counters
+
+    def test_null_recorder_byte_identical_to_off(self, engine, config_name):
+        """The disabled recorder is normalized away at build time."""
+        from repro.obs import NullRecorder
+
+        trace = build_trace("apache", num_threads=_CORES,
+                            ops_per_thread=_OPS, seed=7)
+        config = make_config(config_name, _settings())
+        plain = simulate(config, trace, engine=engine)
+        nulled = simulate(config, trace, engine=engine,
+                          recorder=NullRecorder())
+        assert plain.to_json() == nulled.to_json()

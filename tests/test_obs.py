@@ -1,0 +1,314 @@
+"""The observability subsystem: recorders, exporters, hooks, and the CLI.
+
+Covers the recorder protocol (``active`` normalization, the
+zero-overhead-when-off contract's wiring side), the Chrome trace-event
+export shape (``ph``/``ts``/``pid``/``tid``/``name`` on every event, the
+metadata track names, abort spans carrying their rollback cause), the
+schema-versioned ``telemetry.json`` payload, the batch engine's
+introspection counters, :class:`~repro.campaign.cache.CacheStats`, and
+the ``repro profile`` / ``--telemetry`` CLI surface.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import Job, ResultCache
+from repro.campaign.cache import CacheStats
+from repro.campaign.executor import CampaignExecutor
+from repro.cli import main
+from repro.engine.simulator import simulate
+from repro.experiments.common import ExperimentSettings, make_config
+from repro.obs import (
+    COHERENCE_TID_BASE,
+    NULL_RECORDER,
+    NullRecorder,
+    PID_CAMPAIGN,
+    PID_SIM,
+    TELEMETRY_SCHEMA_VERSION,
+    TraceRecorder,
+    active,
+    chrome_trace,
+    format_profile,
+    telemetry_payload,
+    write_chrome_trace,
+    write_telemetry,
+)
+from repro.workloads.registry import build_trace
+
+#: a small contended cell that reliably aborts under selective speculation.
+_CONTENDED = dict(config="invisi_sc", workload="false-sharing-storm",
+                  cores=4, ops=800, seed=3)
+
+
+def _traced_contended_run():
+    """One traced rollback-heavy run (module-scope cache would hide bugs)."""
+    settings = ExperimentSettings(num_cores=_CONTENDED["cores"],
+                                  ops_per_thread=_CONTENDED["ops"],
+                                  seeds=(_CONTENDED["seed"],),
+                                  warmup_fraction=0.0)
+    trace = build_trace(_CONTENDED["workload"],
+                        num_threads=_CONTENDED["cores"],
+                        ops_per_thread=_CONTENDED["ops"],
+                        seed=_CONTENDED["seed"])
+    recorder = TraceRecorder()
+    result = simulate(make_config(_CONTENDED["config"], settings), trace,
+                      engine="fast", recorder=recorder)
+    return recorder, result
+
+
+class TestRecorderProtocol:
+    def test_base_recorder_is_disabled_noop(self):
+        rec = NullRecorder()
+        assert not rec.enabled
+        # Every protocol method is callable and silently does nothing.
+        rec.count("x")
+        rec.observe("x", 3)
+        rec.span(1, 0, "s", 0, 5)
+        rec.instant(1, 0, "i", 0)
+        rec.sim_span(0, "s", 0, 5)
+        rec.sim_instant(0, "i", 0)
+        rec.wall_span(0, "s", 0.0, 1.0)
+        rec.wall_instant(0, "i")
+
+    def test_active_strips_none_and_disabled(self):
+        assert active(None) is None
+        assert active(NullRecorder()) is None
+        assert active(NULL_RECORDER) is None
+        rec = TraceRecorder()
+        assert active(rec) is rec
+
+    def test_counters_accumulate(self):
+        rec = TraceRecorder()
+        rec.count("a")
+        rec.count("a", 4)
+        assert rec.counters["a"] == 5
+
+    def test_histograms_bucket_by_value(self):
+        rec = TraceRecorder()
+        for value in (3, 3, 7):
+            rec.observe("len", value)
+        assert rec.histograms["len"] == {3: 2, 7: 1}
+
+    def test_sim_span_clamps_negative_duration(self):
+        rec = TraceRecorder()
+        rec.sim_span(0, "s", 10, 4)
+        assert rec.spans[0].dur == 0
+
+    def test_wall_span_is_relative_microseconds(self):
+        rec = TraceRecorder()
+        rec.wall_span(1, "job", rec.wall_origin + 1.0, rec.wall_origin + 3.0)
+        span = rec.spans[0]
+        assert span.pid == PID_CAMPAIGN
+        assert span.ts == pytest.approx(1_000_000, abs=2)
+        assert span.dur == pytest.approx(2_000_000, abs=2)
+
+
+class TestChromeTraceExport:
+    def test_every_event_has_required_keys(self):
+        recorder, _ = _traced_contended_run()
+        events = chrome_trace(recorder)["traceEvents"]
+        assert events
+        for event in events:
+            for key in ("name", "ph", "pid", "tid"):
+                assert key in event, event
+            if event["ph"] != "M":
+                assert "ts" in event
+            if event["ph"] == "X":
+                assert event["dur"] >= 0 and event["ts"] >= 0
+            if event["ph"] == "i":
+                assert event["s"] == "t"
+
+    def test_metadata_names_processes_and_threads(self):
+        recorder, _ = _traced_contended_run()
+        events = chrome_trace(recorder)["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {(e["name"], e["pid"], e["tid"]): e["args"]["name"]
+                 for e in meta}
+        assert names[("process_name", PID_SIM, 0)].startswith("simulation")
+        assert names[("thread_name", PID_SIM, 0)] == "core 0"
+        dir_tid = COHERENCE_TID_BASE + 0
+        assert names[("thread_name", PID_SIM, dir_tid)] == "directory/core 0"
+        # Metadata precedes data events so viewers name tracks up front.
+        first_data = next(i for i, e in enumerate(events) if e["ph"] != "M")
+        assert all(e["ph"] == "M" for e in events[:first_data])
+
+    def test_contended_run_emits_abort_span_with_cause(self):
+        """The headline hook: rollbacks are visible, labeled, and sized."""
+        recorder, result = _traced_contended_run()
+        aborts = [span for span in recorder.spans
+                  if span.name == "spec.episode" and span.args
+                  and span.args.get("outcome") == "abort"]
+        assert len(aborts) >= 1
+        for span in aborts:
+            assert span.args["cause"] in ("external-write", "external-read",
+                                          "cov-timeout", "conflict")
+            assert span.args["rolled_back"] >= 0
+        assert result.aggregate().aborts > 0
+
+    def test_spans_stay_within_the_run_and_nest_on_their_track(self):
+        recorder, result = _traced_contended_run()
+        episodes = [span for span in recorder.spans
+                    if span.name == "spec.episode" and span.pid == PID_SIM]
+        assert episodes
+        by_track = {}
+        for span in episodes:
+            by_track.setdefault(span.tid, []).append(span)
+        for spans in by_track.values():
+            spans.sort(key=lambda s: (s.ts, s.ts + s.dur))
+            for earlier, later in zip(spans, spans[1:]):
+                # Episodes on one core never interleave: each closes
+                # (commit or abort) before the next opens.
+                assert earlier.ts + earlier.dur <= later.ts
+            for span in spans:
+                assert span.ts + span.dur <= result.runtime
+
+    def test_written_trace_is_loadable_json(self, tmp_path):
+        recorder, _ = _traced_contended_run()
+        recorder.meta["config"] = _CONTENDED["config"]
+        path = write_chrome_trace(recorder, tmp_path / "trace.json")
+        payload = json.loads(path.read_text())
+        assert isinstance(payload["traceEvents"], list)
+        other = payload["otherData"]
+        assert other["schema_version"] == TELEMETRY_SCHEMA_VERSION
+        assert other["config"] == _CONTENDED["config"]
+        assert other["counters"]
+
+
+class TestTelemetryPayload:
+    def test_schema_and_sections(self):
+        recorder, _ = _traced_contended_run()
+        recorder.meta["engine"] = "fast"
+        payload = telemetry_payload(recorder)
+        assert payload["schema_version"] == TELEMETRY_SCHEMA_VERSION
+        assert payload["meta"] == {"engine": "fast"}
+        assert payload["counters"]["coherence.transactions"] > 0
+        assert payload["spans"]["spec.episode"]["count"] > 0
+        assert payload["instants"]
+        assert json.dumps(payload)  # JSON-serializable end to end
+
+    def test_histogram_summary_math(self):
+        rec = TraceRecorder()
+        for value in (2, 2, 8):
+            rec.observe("x", value)
+        summary = telemetry_payload(rec)["histograms"]["x"]
+        assert summary == {"samples": 3, "min": 2, "max": 8,
+                           "mean": pytest.approx(4.0),
+                           "buckets": {"2": 2, "8": 1}}
+
+    def test_format_profile_lists_all_sections(self):
+        recorder, _ = _traced_contended_run()
+        recorder.meta["config"] = "invisi_sc"
+        text = format_profile(recorder)
+        assert "profile: config=invisi_sc" in text
+        assert "spans" in text and "spec.episode" in text
+        assert "counters:" in text and "coherence.l1_hits" in text
+        assert "histograms:" in text
+
+    def test_format_profile_empty_recorder(self):
+        assert "no telemetry" in format_profile(TraceRecorder())
+
+
+class TestBatchIntrospection:
+    def test_batch_engine_reports_stretches_and_declines(self):
+        settings = ExperimentSettings(num_cores=1, ops_per_thread=2000,
+                                      seeds=(3,), warmup_fraction=0.0)
+        trace = build_trace("barnes", num_threads=1, ops_per_thread=2000,
+                            seed=3)
+        recorder = TraceRecorder()
+        simulate(make_config("sc", settings), trace, engine="batch",
+                 recorder=recorder)
+        assert recorder.counters["batch.retired"] > 0
+        assert "batch.stretch_len" in recorder.histograms
+        assert any(name.startswith("batch.decline.")
+                   for name in recorder.counters)
+
+
+class TestCacheStats:
+    def test_cache_tallies_hits_misses_stores(self, tmp_path):
+        settings = ExperimentSettings(num_cores=2, ops_per_thread=120,
+                                      seeds=(3,), warmup_fraction=0.0)
+        cache = ResultCache(tmp_path / "cache")
+        executor = CampaignExecutor(settings, jobs=1, cache=cache)
+        jobs = [Job("sc", "apache", 3)]
+        executor.run(jobs)
+        assert cache.stats == CacheStats(hits=0, misses=1, stores=1)
+        executor2 = CampaignExecutor(settings, jobs=1, cache=cache)
+        executor2.run(jobs)
+        assert cache.stats == CacheStats(hits=1, misses=1, stores=1)
+
+    def test_since_returns_the_delta(self):
+        before = CacheStats(hits=2, misses=5, stores=4)
+        after = CacheStats(hits=3, misses=9, stores=6)
+        assert after.since(before) == CacheStats(hits=1, misses=4, stores=2)
+
+    def test_report_carries_stats_and_describe_mentions_stores(self, tmp_path):
+        settings = ExperimentSettings(num_cores=2, ops_per_thread=120,
+                                      seeds=(3,), warmup_fraction=0.0)
+        cache = ResultCache(tmp_path / "cache")
+        executor = CampaignExecutor(settings, jobs=1, cache=cache)
+        executor.run([Job("sc", "apache", 3)])
+        report = executor.last_report
+        assert report.cache_stats == CacheStats(hits=0, misses=1, stores=1)
+        assert "1 stored" in report.describe(cache)
+        # The pinned prefix format is unchanged (CI greps depend on it).
+        assert "1 simulated, 0 cache hits" in report.describe(cache)
+
+
+class TestCLIProfile:
+    def test_profile_writes_parseable_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        telemetry_path = tmp_path / "telemetry.json"
+        code = main(["profile", "invisi_sc", "false-sharing-storm", "--small",
+                     "--trace-out", str(trace_path),
+                     "--telemetry-out", str(telemetry_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "[profile] wrote Chrome trace" in out
+        payload = json.loads(trace_path.read_text())
+        assert payload["traceEvents"]
+        telemetry = json.loads(telemetry_path.read_text())
+        assert telemetry["schema_version"] == TELEMETRY_SCHEMA_VERSION
+        assert telemetry["meta"]["workload"] == "false-sharing-storm"
+
+    def test_quiet_suppresses_progress_but_not_results(self, capsys):
+        code = main(["-q", "profile", "sc", "apache", "--small"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "[profile]" not in out
+
+    def test_verbose_adds_event_tallies(self, capsys):
+        code = main(["-v", "profile", "sc", "apache", "--small"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "spans," in out and "instants," in out
+
+    def test_profile_rejects_unknown_config(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["profile", "warp-drive", "apache"])
+
+
+class TestCLITelemetryFlag:
+    def test_scenario_run_writes_telemetry_json(self, tmp_path, monkeypatch,
+                                                capsys):
+        monkeypatch.chdir(tmp_path)
+        code = main(["scenario", "run", "false-sharing-storm", "--small",
+                     "--configs", "sc", "--no-cache", "--telemetry"])
+        assert code == 0
+        payload = json.loads((tmp_path / "telemetry.json").read_text())
+        assert payload["schema_version"] == TELEMETRY_SCHEMA_VERSION
+        assert payload["counters"]["campaign.jobs"] == 1
+        assert payload["spans"]["job"]["count"] == 1
+        assert "[telemetry] wrote telemetry.json" in capsys.readouterr().out
+
+    def test_study_run_writes_telemetry_next_to_artifacts(self, tmp_path,
+                                                          monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(["-q", "study", "run", "figure8", "--quick", "--no-cache",
+                     "--out-dir", str(tmp_path / "out"), "--telemetry"])
+        assert code == 0
+        payload = json.loads((tmp_path / "out" / "telemetry.json").read_text())
+        assert payload["meta"]["studies"] == "figure8"
+        assert payload["counters"]["campaign.simulated"] > 0
