@@ -18,10 +18,10 @@ import argparse
 import time
 
 import repro.experiments  # noqa: F401  (imports register the studies)
-from repro.campaign import ResultCache
+from repro import compile_study_plan, open_cache, run_study
 from repro.experiments import (ExperimentSettings, figure2_table, figure4_table,
                                figure5_table, figure6_table, figure7_table)
-from repro.studies import DEFAULT_STUDY_REGISTRY, compile_plan, run_study
+from repro.studies import DEFAULT_STUDY_REGISTRY
 
 NUM_CORES = 16
 OPS_PER_THREAD = 6000
@@ -32,20 +32,20 @@ STUDY_ORDER = ("figure1", "figure8", "figure9", "figure10", "figure11",
                "figure12", "scenarios", "scaling", "ablation-sb",
                "ablation-cov")
 
-def main(out_path, jobs=1, cache_dir="results/cache", quick=False,
+def main(out_path, jobs=1, cache_url="results/cache", quick=False,
          artifacts_dir="results"):
     settings = ExperimentSettings(
         num_cores=4 if quick else NUM_CORES,
         ops_per_thread=800 if quick else OPS_PER_THREAD,
         seeds=SEEDS)
-    cache = ResultCache(cache_dir) if cache_dir else None
+    cache = open_cache(cache_url) if cache_url else None
     specs = [DEFAULT_STUDY_REGISTRY.get(name) for name in STUDY_ORDER]
     leftover = [s for s in DEFAULT_STUDY_REGISTRY.specs() if s.name not in STUDY_ORDER]
     specs.extend(leftover)  # user-registered studies ride along
 
     # One prefetch: the union of every study's cells, deduplicated, fanned
     # out over the worker pool, and persisted in the shared cache.
-    plan = compile_plan(specs, settings)
+    plan = compile_study_plan(specs, settings)
     study_runner = plan.runner(jobs=jobs, cache=cache)
     start = time.time()
     report = plan.execute(study_runner)
@@ -80,13 +80,15 @@ if __name__ == "__main__":
     parser.add_argument("out", nargs="?", default="results/full_run.txt")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for missing cells")
-    parser.add_argument("--cache-dir", default="results/cache",
-                        help="result cache directory ('' disables caching)")
+    parser.add_argument("--cache", "--cache-dir", dest="cache",
+                        default="results/cache",
+                        help="result cache URL (dir://PATH, sqlite://FILE) or "
+                             "directory path ('' disables caching)")
     parser.add_argument("--quick", action="store_true",
                         help="smoke scale (4 cores, 800 ops) instead of the "
                              "full 16-core run")
     parser.add_argument("--artifacts-dir", default="results",
                         help="where per-study JSON/CSV artifacts are written")
     args = parser.parse_args()
-    main(args.out, jobs=args.jobs, cache_dir=args.cache_dir, quick=args.quick,
+    main(args.out, jobs=args.jobs, cache_url=args.cache, quick=args.quick,
          artifacts_dir=args.artifacts_dir)

@@ -8,21 +8,34 @@ figure of the paper's evaluation.
 
 Quickstart::
 
-    from repro import (ConsistencyModel, SpeculationConfig, SpeculationMode,
-                       build_trace, simulate, small_config)
+    from repro import simulate
+
+    baseline = simulate("sc", "apache", cores=4, ops=4000)
+    invisi = simulate("invisi_sc", "apache", cores=4, ops=4000)
+    print("speedup:", invisi.speedup_over(baseline))
+
+The stable programmatic surface is :mod:`repro.api` (re-exported here):
+:func:`simulate`, :func:`run_study`, :func:`execute_plan`, and
+:func:`open_cache`.  Engine-level calls with a prebuilt trace keep
+working -- ``simulate(config, trace)`` is a transparent passthrough::
+
+    from repro import ConsistencyModel, build_trace, simulate, small_config
 
     trace = build_trace("apache", num_threads=4, ops_per_thread=4000, seed=1)
     baseline = simulate(small_config(ConsistencyModel.SC), trace)
-    invisi = simulate(
-        small_config(ConsistencyModel.SC,
-                     SpeculationConfig(mode=SpeculationMode.SELECTIVE)),
-        trace)
-    print("speedup:", invisi.speedup_over(baseline))
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured comparison of every figure.
 """
 
+from .api import (
+    PlanExecution,
+    compile_study_plan,
+    execute_plan,
+    open_cache,
+    run_study,
+    simulate,
+)
 from .campaign import (
     CampaignExecutor,
     ConfigRegistry,
@@ -44,7 +57,7 @@ from .config import (
     paper_config,
     small_config,
 )
-from .engine import RunResult, Simulator, build_system, simulate
+from .engine import RunResult, Simulator, build_system
 from .errors import (
     CoherenceError,
     ConfigurationError,
@@ -94,6 +107,12 @@ __all__ = [
     "RunResult",
     "Simulator",
     "build_system",
+    # public api facade (repro.api)
+    "PlanExecution",
+    "compile_study_plan",
+    "execute_plan",
+    "open_cache",
+    "run_study",
     "simulate",
     # traces
     "MemOp",

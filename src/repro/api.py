@@ -1,0 +1,246 @@
+"""The public API facade: the blessed programmatic entry points.
+
+Service and script consumers should import from here (or from the
+package root, which re-exports this module) rather than reaching into
+``repro.campaign.executor`` / ``repro.studies.runner`` internals, whose
+layout may change between releases.  Four entry points cover the common
+shapes:
+
+:func:`simulate`
+    one cell -- a workload (name, spec, or prebuilt trace) under a
+    machine configuration (name or :class:`~repro.config.SystemConfig`),
+    optionally served through a result cache;
+:func:`run_study`
+    one registered (or ad-hoc) study end to end, returning its result
+    object;
+:func:`execute_plan`
+    many studies compiled into one deduplicated campaign plan, executed
+    through a shared executor/cache -- the bulk entry point the CLI's
+    ``study run`` and the service layer queue cold jobs through;
+:func:`open_cache`
+    a result cache from a ``dir://`` / ``sqlite://`` URL (with optional
+    ``?shards=N``), a bare path, or ``None`` for the default local
+    directory.
+
+Example::
+
+    from repro import execute_plan, open_cache, simulate
+
+    # One cell, cached across calls:
+    result = simulate("invisi_sc", "apache", cores=8, ops=4000,
+                      cache=open_cache("sqlite://results/cache.sqlite"))
+
+    # Ten studies, one deduplicated plan, sqlite-backed:
+    execution = execute_plan(["figure8", "figure9"], jobs=4,
+                             cache="sqlite://results/cache.sqlite")
+    print(execution.result("figure8").format())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from .campaign.backends import CacheBackend
+from .campaign.cache import ResultCache, cache_key
+from .campaign.executor import CampaignReport
+from .campaign.registry import DEFAULT_REGISTRY
+from .config import SystemConfig
+from .engine.results import RunResult
+from .engine.simulator import simulate as _engine_simulate
+from .obs.recorder import Recorder
+from .trace.trace import MultiThreadedTrace
+from .workloads.registry import build_trace, resolve_spec
+
+__all__ = [
+    "PlanExecution",
+    "compile_study_plan",
+    "execute_plan",
+    "open_cache",
+    "run_study",
+    "simulate",
+]
+
+#: Anything :func:`open_cache` accepts.
+CacheLike = Union[None, str, "ResultCache", CacheBackend]
+
+
+def open_cache(cache: CacheLike = None) -> ResultCache:
+    """Open (or pass through) a result cache.
+
+    * ``None`` -- the default local directory (``results/cache/``);
+    * a string or path -- a cache URL (``dir://path``, ``sqlite://file``,
+      either with ``?shards=N``) or a bare directory path;
+    * a :class:`~repro.campaign.backends.CacheBackend` -- wrapped;
+    * a :class:`~repro.campaign.cache.ResultCache` -- returned unchanged.
+    """
+    if cache is None:
+        return ResultCache()
+    if isinstance(cache, ResultCache):
+        return cache
+    if isinstance(cache, CacheBackend):
+        return ResultCache(backend=cache)
+    return ResultCache.from_url(cache)
+
+
+def _open_optional(cache: CacheLike) -> Optional[ResultCache]:
+    """Like :func:`open_cache`, but ``None`` stays ``None`` (no cache)."""
+    return None if cache is None else open_cache(cache)
+
+
+def simulate(config: Union[str, SystemConfig],
+             workload: Union[str, object, MultiThreadedTrace],
+             max_events: Optional[int] = None,
+             warmup_fraction: float = 0.0, engine: str = "fast",
+             recorder: Optional[Recorder] = None, *,
+             cores: int = 8, ops: int = 4000, seed: int = 1,
+             cache: CacheLike = None) -> RunResult:
+    """Simulate one (configuration, workload) cell.
+
+    ``config`` is a registered short-name (``"sc"``, ``"invisi_sc"``,
+    ...) or an explicit :class:`SystemConfig`.  ``workload`` is a
+    workload preset or scenario name, a spec object, or a prebuilt
+    :class:`MultiThreadedTrace`; names and specs are expanded to a trace
+    at ``cores`` threads and ``ops`` operations per thread with generator
+    ``seed``.  With a trace, the call is exactly the engine-level
+    ``simulate(config, trace, ...)`` -- existing call sites are
+    unaffected -- and ``cores``/``ops``/``seed``/``cache`` do not apply
+    (traces carry their own shape, and content-addressed caching needs
+    the generating spec).
+
+    With ``cache`` set (anything :func:`open_cache` accepts), the cell is
+    served from the cache when present and written back when simulated --
+    the one-cell equivalent of a campaign.
+    """
+    if isinstance(workload, MultiThreadedTrace):
+        if isinstance(config, str):
+            from .experiments.common import ExperimentSettings
+
+            config = DEFAULT_REGISTRY.make(
+                config, ExperimentSettings(
+                    num_cores=workload.num_threads,
+                    ops_per_thread=max(1, workload.total_ops()
+                                       // workload.num_threads)))
+        return _engine_simulate(config, workload, max_events=max_events,
+                                warmup_fraction=warmup_fraction,
+                                engine=engine, recorder=recorder)
+
+    from .experiments.common import ExperimentSettings
+
+    settings = ExperimentSettings(num_cores=cores, ops_per_thread=ops,
+                                  seeds=(seed,),
+                                  warmup_fraction=warmup_fraction)
+    if isinstance(config, str):
+        config = DEFAULT_REGISTRY.make(config, settings)
+    spec = resolve_spec(workload, ops)
+    store = _open_optional(cache)
+    key = None
+    if store is not None:
+        key = cache_key(config, spec, seed, warmup_fraction)
+        cached = store.get(key)
+        if cached is not None:
+            return cached
+    trace = build_trace(spec, num_threads=config.num_cores, seed=seed)
+    result = _engine_simulate(config, trace, max_events=max_events,
+                              warmup_fraction=warmup_fraction,
+                              engine=engine, recorder=recorder)
+    if store is not None and key is not None:
+        store.put(key, result)
+    return result
+
+
+def run_study(study, settings=None, *, jobs: int = 1,
+              cache: CacheLike = None, engine: str = "fast",
+              out_dir=None, recorder: Optional[Recorder] = None,
+              runner=None, study_runner=None):
+    """Execute one study end to end; returns its result object.
+
+    A thin wrapper over :func:`repro.studies.runner.run_study` that also
+    accepts cache URLs; see that function for the sharing semantics of
+    ``runner``/``study_runner``.
+    """
+    from .studies.runner import run_study as _run_study
+
+    return _run_study(study, settings, runner=runner,
+                      study_runner=study_runner, jobs=jobs,
+                      cache=_open_optional(cache), out_dir=out_dir,
+                      engine=engine, recorder=recorder)
+
+
+@dataclass
+class PlanExecution:
+    """An executed study plan: the report plus lazily built results."""
+
+    plan: Any
+    runner: Any
+    #: what the campaign actually did for the whole plan.
+    report: CampaignReport
+    _results: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def cache(self) -> Optional[ResultCache]:
+        return self.runner.cache
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(spec.name for spec in self.plan.specs)
+
+    def result(self, name: str):
+        """The named study's result object (built once, memoized)."""
+        if name not in self._results:
+            spec = next(s for s in self.plan.specs if s.name == name)
+            self._results[name] = run_study(spec, self.plan.settings,
+                                            study_runner=self.runner)
+        return self._results[name]
+
+    def results(self) -> Dict[str, Any]:
+        """Every study's result object, in plan order."""
+        return {name: self.result(name) for name in self.names()}
+
+    def describe(self) -> str:
+        return f"{self.plan.describe()}; {self.report.describe(self.cache)}"
+
+
+def execute_plan(studies: Union[str, Iterable], settings=None, *,
+                 jobs: int = 1, cache: CacheLike = None,
+                 engine: str = "fast",
+                 recorder: Optional[Recorder] = None) -> PlanExecution:
+    """Compile ``studies`` into one deduplicated plan and execute it.
+
+    ``studies`` is a study name, an iterable of names and/or
+    :class:`~repro.studies.spec.StudySpec` objects, or ``"*"`` for every
+    registered study.  Shared cells (e.g. a common baseline) are
+    simulated exactly once; missing cells fan out over ``jobs`` worker
+    processes and persist in ``cache`` (anything :func:`open_cache`
+    accepts -- pass a shared ``sqlite://`` URL to cooperate with
+    ``repro worker`` processes draining the same plan).
+    """
+    plan = compile_study_plan(studies, settings)
+    runner = plan.runner(jobs=jobs, cache=_open_optional(cache),
+                         engine=engine, recorder=recorder)
+    report = plan.execute(runner)
+    return PlanExecution(plan=plan, runner=runner, report=report)
+
+
+def compile_study_plan(studies: Union[str, Iterable], settings=None):
+    """Compile (without executing) the deduplicated plan for ``studies``.
+
+    The shared front half of :func:`execute_plan`; ``repro worker`` uses
+    it so every worker process derives the identical plan -- and thus the
+    identical content-addressed keys -- from the study names alone.
+    """
+    import repro.experiments  # noqa: F401  (imports register the studies)
+
+    from .studies.plan import compile_plan
+    from .studies.registry import DEFAULT_STUDY_REGISTRY
+    from .studies.spec import StudySpec
+
+    if isinstance(studies, str):
+        studies = (DEFAULT_STUDY_REGISTRY.specs() if studies == "*"
+                   else (studies,))
+    specs = tuple(spec if isinstance(spec, StudySpec)
+                  else DEFAULT_STUDY_REGISTRY.get(spec) for spec in studies)
+    if settings is None:
+        from .experiments.common import ExperimentSettings
+
+        settings = ExperimentSettings()
+    return compile_plan(specs, settings)

@@ -34,6 +34,14 @@ timing (the minimum is robust against scheduler noise):
   executed cold under ``engine="batch"`` -- the hostile direction, where
   the adaptive opt-out must keep batch within noise of fast.
 
+* **distributed** -- the work-queue tier: one study plan drained through
+  a shared sqlite backend by one worker process, then by two cooperating
+  worker processes (lease-claiming over the same file), with the two
+  drained stores checked for byte identity.  This times the coordination
+  overhead and the real two-worker speedup; the identity flag is what
+  the baseline check gates (wall-clock parallel speedup is too
+  machine-dependent to gate).
+
 * **telemetry** -- the ``sc`` kernel with no recorder, with a (disabled)
   :class:`~repro.obs.NullRecorder` attached, and with a live
   :class:`~repro.obs.TraceRecorder`.  The first two must agree: the
@@ -43,10 +51,10 @@ timing (the minimum is robust against scheduler noise):
   by :func:`check_against_baseline` at ``telemetry_tolerance`` (2% by
   default); the traced numbers are informative only.
 
-Output schema (``BENCH_kernel.json``, version 5; v4 lacked the
-``telemetry`` section, v3 lacked the ``batch`` section and the
-``batch_ops_per_thread`` preset field, v2 lacked ``studies``, v1 also
-lacked ``geometries`` and ``geometry_cores``)::
+Output schema (``BENCH_kernel.json``, version 6; v5 lacked the
+``distributed`` section, v4 lacked ``telemetry``, v3 lacked ``batch``
+and the ``batch_ops_per_thread`` preset field, v2 lacked ``studies``,
+v1 also lacked ``geometries`` and ``geometry_cores``)::
 
     {
       "schema": 5,
@@ -69,6 +77,9 @@ lacked ``geometries`` and ``geometry_cores``)::
                             "batch_seconds", "batch_ops_per_sec",
                             "speedup"}],
                 "studies_cold_seconds"},
+      "distributed": {"study", "cells", "one_worker_seconds",
+                      "two_worker_seconds", "speedup", "identical",
+                      "one_worker_simulated", "two_worker_simulated"},
       "telemetry": {"config", "total_ops", "off_seconds",
                     "off_ops_per_sec", "null_seconds",
                     "null_ops_per_sec", "overhead_frac",
@@ -99,7 +110,10 @@ from ..workloads.registry import build_trace
 from ..workloads.spec import WorkloadSpec
 
 #: bump on any change to the report layout so stale baselines are rejected.
-BENCH_SCHEMA_VERSION = 5
+BENCH_SCHEMA_VERSION = 6
+
+#: study drained by the distributed section (six configs, one workload).
+DISTRIBUTED_STUDY = "figure8"
 
 #: configuration short-names covering the three controller kinds.
 KERNEL_CONFIGS = ("sc", "invisi_sc", "invisi_cont")
@@ -355,6 +369,83 @@ def _bench_batch(preset: BenchPreset) -> Dict[str, Any]:
     }
 
 
+def _distributed_drain(task: Tuple[ExperimentSettings, str, str]) -> int:
+    """Drain :data:`DISTRIBUTED_STUDY` through a shared backend.
+
+    Runs in a worker subprocess: recompiles the plan from the study name
+    (exactly what ``repro worker`` does), opens the shared sqlite URL,
+    and drains whatever cells its peers have not claimed.  Returns the
+    number of cells this worker simulated.
+    """
+    settings, url, worker_id = task
+    from ..api import compile_study_plan, open_cache
+    from ..campaign.queue import QueueWorker
+
+    plan = compile_study_plan([DISTRIBUTED_STUDY], settings)
+    worker = QueueWorker(plan, open_cache(url), worker_id=worker_id,
+                         poll_interval=0.01, max_wait=120.0)
+    return worker.drain().simulated
+
+
+def _sqlite_entries(path: Path) -> Dict[str, str]:
+    """Every stored (key, body) row of a sqlite backend file."""
+    import sqlite3
+
+    conn = sqlite3.connect(path)
+    try:
+        return dict(conn.execute("SELECT key, body FROM entries"))
+    finally:
+        conn.close()
+
+
+def _bench_distributed(preset: BenchPreset, settings: ExperimentSettings,
+                       cache_dir: Path) -> Dict[str, Any]:
+    """Time a 1-worker vs 2-worker drain of one plan over shared sqlite.
+
+    Each drain starts from a fresh backend file, so both timings are
+    fully cold and include the lease-claim round trips.  The two-worker
+    drain uses two real processes (the GIL would serialize threads), and
+    the two drained stores are then compared row for row: determinism
+    says they must be byte-identical no matter how the workers raced.
+    That ``identical`` flag -- plus the claim-partition invariant that
+    the two workers' simulated counts sum to the plan's unique cells --
+    is what :func:`check_against_baseline` gates; the parallel speedup is
+    reported but not gated, since it depends on free cores.
+    """
+    import multiprocessing
+
+    from ..api import compile_study_plan
+
+    plan = compile_study_plan([DISTRIBUTED_STUDY], settings)
+    cells = len(plan.unique_cells)
+    one_path = Path(cache_dir) / "distributed-one.sqlite"
+    two_path = Path(cache_dir) / "distributed-two.sqlite"
+
+    with multiprocessing.Pool(1) as pool:
+        start = time.perf_counter()
+        one_counts = pool.map(_distributed_drain,
+                              [(settings, f"sqlite://{one_path}",
+                                "bench-solo")])
+        one_seconds = time.perf_counter() - start
+    with multiprocessing.Pool(2) as pool:
+        start = time.perf_counter()
+        two_counts = pool.map(_distributed_drain,
+                              [(settings, f"sqlite://{two_path}",
+                                f"bench-w{i}") for i in range(2)])
+        two_seconds = time.perf_counter() - start
+
+    return {
+        "study": DISTRIBUTED_STUDY,
+        "cells": cells,
+        "one_worker_simulated": one_counts[0],
+        "two_worker_simulated": two_counts,
+        "one_worker_seconds": one_seconds,
+        "two_worker_seconds": two_seconds,
+        "speedup": one_seconds / two_seconds if two_seconds > 0 else 0.0,
+        "identical": _sqlite_entries(one_path) == _sqlite_entries(two_path),
+    }
+
+
 def _bench_scenario(preset: BenchPreset) -> Dict[str, Any]:
     best, trace = _best_of(
         preset.repeats,
@@ -455,6 +546,7 @@ def run_bench(preset: BenchPreset, cache_dir: Path) -> Dict[str, Any]:
         "geometries": _bench_geometries(preset),
         "studies": _bench_studies(preset, settings, cache_dir),
         "batch": _bench_batch(preset),
+        "distributed": _bench_distributed(preset, settings, cache_dir),
         "telemetry": _bench_telemetry(preset, settings),
     }
 
@@ -509,6 +601,16 @@ def format_bench_report(report: Dict[str, Any]) -> str:
         lines.append(
             f"  batch all-studies cold: "
             f"{batch['studies_cold_seconds'] * 1000:.1f} ms")
+    distributed = report.get("distributed")
+    if distributed:
+        check = "" if distributed["identical"] else "  IDENTITY MISMATCH"
+        split = "+".join(str(n) for n in distributed["two_worker_simulated"])
+        lines.append(
+            f"  distributed {distributed['study']} "
+            f"({distributed['cells']} cells, sqlite queue): 1 worker "
+            f"{distributed['one_worker_seconds'] * 1000:.1f} ms, 2 workers "
+            f"{distributed['two_worker_seconds'] * 1000:.1f} ms "
+            f"({distributed['speedup']:.2f}x, split {split}){check}")
     telemetry = report.get("telemetry")
     if telemetry:
         lines.append(
@@ -651,6 +753,23 @@ def check_against_baseline(report: Dict[str, Any], baseline: Dict[str, Any],
                 f"{width['batch_ops_per_sec']:,.0f} ops/s is below "
                 f"{floor:,.0f} (baseline {base['batch_ops_per_sec']:,.0f} "
                 f"- {tolerance:.0%} tolerance)")
+    distributed = report.get("distributed")
+    if distributed is None:
+        failures.append("distributed section missing from report")
+    else:
+        # Gated within the fresh report (wall-clock parallel speedup is
+        # machine-dependent): the two drained stores must be
+        # byte-identical, and the lease protocol must have partitioned
+        # the plan -- every cell simulated by exactly one worker.
+        if not distributed["identical"]:
+            failures.append(
+                f"distributed: 1-worker and 2-worker drains of "
+                f"{distributed['study']} are not byte-identical")
+        if sum(distributed["two_worker_simulated"]) != distributed["cells"]:
+            failures.append(
+                f"distributed: two-worker drain simulated "
+                f"{distributed['two_worker_simulated']} cells, expected a "
+                f"partition of {distributed['cells']}")
     telemetry = report.get("telemetry")
     if telemetry is None:
         failures.append("telemetry section missing from report")

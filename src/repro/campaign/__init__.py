@@ -13,29 +13,62 @@ cross-product into an explicit *campaign*:
   cells out over a ``multiprocessing`` pool (deterministic serial path for
   ``jobs=1``) and returns results in stable order;
 * :mod:`~repro.campaign.cache` -- :class:`ResultCache`, a content-addressed
-  on-disk store so re-running a figure only simulates missing cells.
+  result store so re-running a figure only simulates missing cells;
+* :mod:`~repro.campaign.backends` -- the pluggable storage behind the
+  cache: local directory, sqlite shard (concurrent-writer safe), or a
+  sharded composite, addressed by ``dir://`` / ``sqlite://`` URLs;
+* :mod:`~repro.campaign.versions` -- kernel-source fingerprints embedded
+  in cache keys, so an engine refactor invalidates exactly the cells
+  whose reachable sources changed;
+* :mod:`~repro.campaign.queue` -- :class:`QueueWorker`, the distributed
+  work-queue tier: many worker processes drain one deduplicated study
+  plan through a shared backend, claiming cells via expiring leases
+  (``repro worker`` on the command line).
 
 The experiment layer's :class:`~repro.experiments.common.ExperimentRunner`
 is a thin façade over these pieces; use this package directly for custom
 sweeps (see the CLI's ``sweep`` subcommand).
 """
 
-from .cache import DEFAULT_CACHE_DIR, ResultCache, cache_key
+from .backends import (
+    CacheBackend,
+    CacheStats,
+    DirectoryBackend,
+    ShardedBackend,
+    SqliteBackend,
+    backend_from_url,
+)
+from .cache import DEFAULT_CACHE_DIR, DEFAULT_CACHE_URL, ResultCache, cache_key
 from .executor import CampaignExecutor, CampaignReport
 from .jobs import Job, dedupe_jobs, expand_jobs
+from .queue import QueueWorker, WorkerReport, default_worker_id
 from .registry import DEFAULT_REGISTRY, ConfigFactory, ConfigRegistry, derived
+from .versions import group_fingerprint, groups_for, kernel_versions
 
 __all__ = [
+    "CacheBackend",
+    "CacheStats",
     "CampaignExecutor",
     "CampaignReport",
     "ConfigFactory",
     "ConfigRegistry",
     "DEFAULT_CACHE_DIR",
+    "DEFAULT_CACHE_URL",
     "DEFAULT_REGISTRY",
+    "DirectoryBackend",
     "Job",
+    "QueueWorker",
     "ResultCache",
+    "ShardedBackend",
+    "SqliteBackend",
+    "WorkerReport",
+    "backend_from_url",
     "cache_key",
     "dedupe_jobs",
+    "default_worker_id",
     "derived",
     "expand_jobs",
+    "group_fingerprint",
+    "groups_for",
+    "kernel_versions",
 ]

@@ -101,14 +101,46 @@ class CampaignReport:
     deduplicated: int = 0
     #: cache tallies accumulated by this run (``None`` without a cache).
     cache_stats: Optional[CacheStats] = None
+    #: per-backend (label, tallies) deltas for this run; more than one
+    #: entry when a sharded backend is active.
+    backend_stats: Optional[List[Tuple[str, CacheStats]]] = None
 
     def describe(self, cache: Optional[ResultCache] = None) -> str:
-        """One-line human summary (shared by the CLI and scripts)."""
-        where = "no cache" if cache is None else str(cache.root)
+        """One-line human summary (shared by the CLI and scripts).
+
+        With a sharded backend the cache tallies are broken out per
+        shard -- a single aggregate would hide a misrouted or empty
+        shard entirely.
+        """
+        where = "no cache" if cache is None else cache.describe()
         line = f"{self.simulated} simulated, {self.cache_hits} cache hits ({where})"
         if self.cache_stats is not None:
             line += f", {self.cache_stats.stores} stored"
+        if self.backend_stats is not None and len(self.backend_stats) > 1:
+            shards = "; ".join(
+                f"{label}: {stats.hits} hits/{stats.stores} stored"
+                for label, stats in self.backend_stats)
+            line += f" [{shards}]"
         return line
+
+    def merge(self, other: "CampaignReport") -> None:
+        """Fold another report's tallies into this one (plan summaries)."""
+        self.total += other.total
+        self.simulated += other.simulated
+        self.cache_hits += other.cache_hits
+        self.deduplicated += other.deduplicated
+        if other.cache_stats is not None:
+            self.cache_stats = other.cache_stats if self.cache_stats is None \
+                else self.cache_stats.plus(other.cache_stats)
+        if other.backend_stats is not None:
+            if self.backend_stats is None:
+                self.backend_stats = list(other.backend_stats)
+            else:
+                merged = dict(self.backend_stats)
+                for label, stats in other.backend_stats:
+                    merged[label] = merged[label].plus(stats) \
+                        if label in merged else stats
+                self.backend_stats = list(merged.items())
 
 
 class CampaignExecutor:
@@ -198,6 +230,8 @@ class CampaignExecutor:
                                 deduplicated=len(jobs) - len(unique))
         rec = self.recorder
         cache_before = self.cache.stats if self.cache is not None else None
+        backends_before = dict(self.cache.backend_stats()) \
+            if self.cache is not None else None
 
         results: Dict[Job, RunResult] = {}
         keys: Dict[Job, str] = {}
@@ -254,11 +288,18 @@ class CampaignExecutor:
 
         if self.cache is not None:
             report.cache_stats = self.cache.stats.since(cache_before)
+            report.backend_stats = [
+                (label, stats.since(backends_before.get(label, CacheStats())))
+                for label, stats in self.cache.backend_stats()]
         if rec is not None:
             rec.count("campaign.jobs", report.total)
             rec.count("campaign.simulated", report.simulated)
             rec.count("campaign.cache_hits", report.cache_hits)
             rec.count("campaign.deduplicated", report.deduplicated)
+            for label, stats in report.backend_stats or ():
+                rec.count(f"cache.{label}.hits", stats.hits)
+                rec.count(f"cache.{label}.misses", stats.misses)
+                rec.count(f"cache.{label}.stores", stats.stores)
         self.last_report = report
         return [results[job] for job in jobs]
 

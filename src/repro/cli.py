@@ -1,10 +1,11 @@
 """Command-line interface.
 
-Nine subcommands cover the common entry points without writing any code::
+Ten subcommands cover the common entry points without writing any code::
 
     python -m repro simulate --workload apache --config invisi_sc --cores 8
     python -m repro figure 8 --cores 8 --ops 4000 --jobs 4
     python -m repro study run figure8 scaling --jobs 4
+    python -m repro worker figure8 --cache sqlite://results/queue.sqlite
     python -m repro sweep --configs sc,invisi_sc --workloads apache --jobs 4
     python -m repro workloads list
     python -m repro scenario run false-sharing-storm --jobs 4
@@ -43,13 +44,27 @@ a workload preset.
 ``--configs``/``--workloads``/``--seeds`` pick the cross-product (default:
 every registered configuration and workload), ``--jobs N`` simulates
 missing cells on a pool of N worker processes, and completed cells are
-persisted in a content-addressed result cache (``results/cache/`` unless
-``--cache-dir`` overrides it) so a repeated sweep -- or a later ``figure``
-run over the same cells -- simulates nothing.  ``--no-cache`` disables the
-cache, ``--quick`` is a small smoke-test preset for CI.  The ``figure``
-subcommand accepts the same ``--jobs``/``--no-cache``/``--cache-dir`` flags
-and prefetches its whole cross-product through the campaign executor
-before formatting.
+persisted in a content-addressed result cache so a repeated sweep -- or a
+later ``figure`` run over the same cells -- simulates nothing.
+
+Every campaign-driving subcommand (``simulate``, ``figure``, ``sweep``,
+``study run``, ``scenario run``, ``worker``) accepts one identical flag
+set, declared once in :func:`_campaign_parent`:
+``--jobs``/``--no-cache``/``--cache URL``/``--engine``/``--telemetry``.
+``--cache`` takes a backend URL -- ``dir://PATH`` (default,
+``results/cache/``), ``sqlite://FILE`` (safe for concurrent writers),
+either with ``?shards=N`` for a sharded composite -- or a bare directory
+path; ``--cache-dir PATH`` survives as a deprecated alias.  ``--no-cache``
+disables caching, ``--quick`` is a small smoke-test preset for CI.
+
+``worker`` is the distributed tier: each ``repro worker <studies...>
+--cache URL`` process independently compiles the same deduplicated study
+plan and drains whatever cells are still missing from the shared backend,
+claiming cells via expiring lease records so no two live workers simulate
+the same cell and a crashed worker's claims are re-issued.  Launch N
+workers against one ``sqlite://`` URL (from different machines, a shared
+filesystem suffices), then run ``study run`` with the same URL: it
+simulates nothing and formats every table from the drained cache.
 
 ``profile`` runs one (configuration, workload-or-scenario) cell with the
 telemetry recorder attached and prints the text profile (speculation
@@ -87,11 +102,14 @@ from .bench import (
     run_bench,
     write_report,
 )
+from .api import compile_study_plan, open_cache
+from .api import simulate as api_simulate
 from .campaign import (
     CampaignExecutor,
-    DEFAULT_CACHE_DIR,
+    DEFAULT_CACHE_URL,
     DEFAULT_REGISTRY,
     Job,
+    QueueWorker,
     ResultCache,
     expand_jobs,
 )
@@ -133,7 +151,7 @@ from .obs import (
 )
 from .scenarios.registry import DEFAULT_SCENARIO_REGISTRY, scenario_names, scenario_spec
 from .stats.phases import format_phase_breakdown
-from .studies import DEFAULT_STUDY_REGISTRY, compile_plan, run_study, write_artifacts
+from .studies import DEFAULT_STUDY_REGISTRY, run_study, write_artifacts
 from .stats.report import format_table
 from .workloads.presets import WORKLOAD_PRESETS, workload_names
 from .workloads.registry import build_trace
@@ -200,8 +218,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("-v", "--verbose", action="store_true",
                         help="print diagnostic detail")
     sub = parser.add_subparsers(dest="command", required=True)
+    campaign = _campaign_parent()
 
-    sim = sub.add_parser("simulate",
+    sim = sub.add_parser("simulate", parents=[campaign],
                          help="run one workload or scenario under one configuration")
     sim.add_argument("--workload",
                      choices=workload_names() + list(scenario_names()),
@@ -216,7 +235,8 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--seed", type=int, default=1)
     sim.add_argument("--warmup", type=float, default=0.2)
 
-    fig = sub.add_parser("figure", help="regenerate one of the paper's figures")
+    fig = sub.add_parser("figure", parents=[campaign],
+                         help="regenerate one of the paper's figures")
     fig.add_argument("number", choices=sorted(_FIGURES), help="figure number")
     fig.add_argument("--cores", type=int, default=None,
                      help="cores per simulated machine (default: 8; the "
@@ -235,10 +255,10 @@ def _build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--small", action="store_true",
                      help="scaling figure only: CI smoke preset, 2 and 4 "
                           "cores at 400 ops (explicit flags override)")
-    _add_campaign_flags(fig)
 
     sweep = sub.add_parser(
-        "sweep", help="run a (config x workload x seed) campaign, in parallel")
+        "sweep", parents=[campaign],
+        help="run a (config x workload x seed) campaign, in parallel")
     sweep.add_argument("--configs", type=str, default=None,
                        help="comma-separated configuration names "
                             "(default: all registered configurations)")
@@ -255,7 +275,6 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--quick", action="store_true",
                        help="smoke-test preset: 2 cores, 400 ops, "
                             "sc+invisi_sc on apache (explicit flags override)")
-    _add_campaign_flags(sweep)
 
     study = sub.add_parser(
         "study", help="list and run declarative studies "
@@ -263,29 +282,29 @@ def _build_parser() -> argparse.ArgumentParser:
     study_sub = study.add_subparsers(dest="study_command", required=True)
     study_sub.add_parser("list", help="print registered studies and their grids")
     st_run = study_sub.add_parser(
-        "run", help="run studies through one deduplicated campaign plan and "
-                    "write JSON + CSV artifacts")
-    st_run.add_argument("names", nargs="*",
-                        help="study names (see 'study list')")
-    st_run.add_argument("--all", action="store_true",
-                        help="run every registered study")
-    st_run.add_argument("--cores", type=int, default=None,
-                        help="cores per simulated machine (default: 8; "
-                             "studies with a core-count axis sweep their own)")
-    st_run.add_argument("--ops", type=int, default=None,
-                        help="operations per thread (default: 4000)")
-    st_run.add_argument("--seeds", type=_seeds_csv, default=(1,),
-                        help="comma-separated generator seeds")
-    st_run.add_argument("--workloads", type=str, default=None,
-                        help="comma-separated workload names for studies "
-                             "without a fixed workload axis (default: all "
-                             "presets)")
-    st_run.add_argument("--quick", action="store_true",
-                        help="smoke-test preset: 2 cores, 400 ops, "
-                             "apache+barnes (explicit flags override)")
+        "run", parents=[campaign],
+        help="run studies through one deduplicated campaign plan and "
+             "write JSON + CSV artifacts")
+    _add_study_selection_flags(st_run)
     st_run.add_argument("--out-dir", type=str, default="results",
                         help="artifact directory (default: results)")
-    _add_campaign_flags(st_run)
+
+    worker = sub.add_parser(
+        "worker", parents=[campaign],
+        help="drain one deduplicated study plan through a shared cache "
+             "backend, cooperating with other workers via lease records")
+    _add_study_selection_flags(worker)
+    worker.add_argument("--worker-id", type=str, default=None,
+                        help="lease-record identity (default: host-pid)")
+    worker.add_argument("--lease-ttl", type=float, default=60.0,
+                        help="seconds before a claimed cell is re-issued to "
+                             "peers (default: 60)")
+    worker.add_argument("--poll-interval", type=float, default=0.05,
+                        help="seconds between polls of peers' live leases "
+                             "(default: 0.05)")
+    worker.add_argument("--max-wait", type=float, default=600.0,
+                        help="seconds without progress before giving up "
+                             "(default: 600)")
 
     wl = sub.add_parser("workloads", help="inspect the workload preset catalogue")
     wl_sub = wl.add_subparsers(dest="workloads_command", required=True)
@@ -296,8 +315,9 @@ def _build_parser() -> argparse.ArgumentParser:
     sc_sub = scenario.add_subparsers(dest="scenario_command", required=True)
     sc_sub.add_parser("list", help="print scenario names, phases, descriptions")
     sc_run = sc_sub.add_parser(
-        "run", help="run one scenario through the campaign executor and "
-                    "print per-phase stall breakdowns")
+        "run", parents=[campaign],
+        help="run one scenario through the campaign executor and "
+             "print per-phase stall breakdowns")
     sc_run.add_argument("name", help="scenario name (see 'scenario list')")
     sc_run.add_argument("--configs", type=str, default="sc,invisi_sc",
                         help="comma-separated configuration names")
@@ -310,7 +330,6 @@ def _build_parser() -> argparse.ArgumentParser:
     sc_run.add_argument("--small", action="store_true",
                         help="smoke-test preset: 2 cores, 600 ops "
                              "(explicit flags override)")
-    _add_campaign_flags(sc_run)
 
     prof = sub.add_parser(
         "profile", help="run one cell with the telemetry recorder attached "
@@ -381,24 +400,100 @@ def _seeds_csv(text: str) -> tuple:
             f"seeds must be comma-separated integers, got {text!r}")
 
 
-def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--jobs", type=_positive_int, default=1,
-                        help="worker processes for missing cells (default: 1, serial)")
-    parser.add_argument("--no-cache", action="store_true",
-                        help="do not read or write the on-disk result cache")
-    parser.add_argument("--cache-dir", type=str, default=str(DEFAULT_CACHE_DIR),
-                        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})")
-    parser.add_argument("--engine", choices=list(ENGINE_KINDS), default="fast",
-                        help="execution kernel for missing cells; all engines "
-                             "produce byte-identical results and share cache "
-                             "entries (default: fast)")
-    parser.add_argument("--telemetry", action="store_true",
-                        help="record campaign telemetry (per-job wall spans, "
-                             "cache tallies) and write telemetry.json")
+def _campaign_parent() -> argparse.ArgumentParser:
+    """The shared campaign flag set, as an argparse parent parser.
+
+    Every campaign-driving subcommand (``simulate``, ``figure``,
+    ``sweep``, ``study run``, ``scenario run``, ``worker``) inherits the
+    identical flags from this one definition, so they cannot drift.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("campaign options")
+    group.add_argument("--jobs", type=_positive_int, default=1,
+                       help="worker processes for missing cells (default: 1, serial)")
+    group.add_argument("--no-cache", action="store_true",
+                       help="do not read or write the on-disk result cache")
+    group.add_argument("--cache", type=str, default=None, metavar="URL",
+                       help="result cache URL: dir://PATH, sqlite://FILE, "
+                            "either with ?shards=N, or a bare directory "
+                            f"path (default: {DEFAULT_CACHE_URL})")
+    group.add_argument("--cache-dir", type=str, default=None, metavar="PATH",
+                       help="deprecated alias for --cache with a directory path")
+    group.add_argument("--engine", choices=list(ENGINE_KINDS), default="fast",
+                       help="execution kernel for missing cells; all engines "
+                            "produce byte-identical results and share cache "
+                            "entries (default: fast)")
+    group.add_argument("--telemetry", action="store_true",
+                       help="record campaign telemetry (per-job wall spans, "
+                            "cache tallies) and write telemetry.json")
+    return parent
+
+
+def _open_cli_cache(args: argparse.Namespace) -> Optional[ResultCache]:
+    """Resolve the shared cache flags into a :class:`ResultCache` (or None)."""
+    if args.no_cache:
+        return None
+    url = args.cache
+    if args.cache_dir is not None:
+        if url is not None:
+            raise ReproError(
+                "--cache and --cache-dir are aliases; pass only one")
+        _info("[cache] --cache-dir is deprecated; use --cache dir://PATH")
+        url = args.cache_dir
+    return open_cache(url)
 
 
 def _split(csv: str) -> tuple:
     return tuple(item for item in csv.split(",") if item)
+
+
+def _add_study_selection_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags picking which studies to run, at what scale.
+
+    Shared verbatim between ``study run`` and ``worker`` so both compile
+    the *identical* deduplicated plan -- and therefore the identical
+    content-addressed cache keys -- from the same command line.
+    """
+    parser.add_argument("names", nargs="*",
+                        help="study names (see 'study list')")
+    parser.add_argument("--all", action="store_true",
+                        help="run every registered study")
+    parser.add_argument("--cores", type=int, default=None,
+                        help="cores per simulated machine (default: 8; "
+                             "studies with a core-count axis sweep their own)")
+    parser.add_argument("--ops", type=int, default=None,
+                        help="operations per thread (default: 4000)")
+    parser.add_argument("--seeds", type=_seeds_csv, default=(1,),
+                        help="comma-separated generator seeds")
+    parser.add_argument("--workloads", type=str, default=None,
+                        help="comma-separated workload names for studies "
+                             "without a fixed workload axis (default: all "
+                             "presets)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke-test preset: 2 cores, 400 ops, "
+                             "apache+barnes (explicit flags override)")
+
+
+def _study_selection(args: argparse.Namespace):
+    """Resolve study-selection flags into (specs, settings)."""
+    if args.all:
+        specs = DEFAULT_STUDY_REGISTRY.specs()
+    else:
+        if not args.names:
+            raise ReproError("name at least one study or pass --all "
+                             "(see 'repro study list')")
+        names = dict.fromkeys(args.names)  # dedupe, preserving order
+        specs = tuple(DEFAULT_STUDY_REGISTRY.get(name) for name in names)
+    cores = args.cores if args.cores is not None else (2 if args.quick else 8)
+    ops = args.ops if args.ops is not None else (400 if args.quick else 4000)
+    if args.workloads:
+        workloads = _split(args.workloads)
+    else:
+        workloads = (("apache", "barnes") if args.quick
+                     else tuple(workload_names()))
+    settings = ExperimentSettings(num_cores=cores, ops_per_thread=ops,
+                                  seeds=args.seeds, workloads=workloads)
+    return specs, settings
 
 
 def _campaign_recorder(args: argparse.Namespace,
@@ -427,15 +522,16 @@ def _print_catalog(title: str, headers: List[str], rows: List[List[str]]) -> Non
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    settings = ExperimentSettings(num_cores=args.cores, ops_per_thread=args.ops,
-                                  seeds=(args.seed,),
-                                  warmup_fraction=args.warmup)
-    trace = build_trace(args.workload, num_threads=args.cores,
-                        ops_per_thread=args.ops, seed=args.seed)
-    result = simulate(make_config(args.config, settings), trace,
-                      warmup_fraction=args.warmup)
-    baseline = simulate(make_config(args.baseline, settings), trace,
-                        warmup_fraction=args.warmup)
+    cache = _open_cli_cache(args) if (args.cache or args.cache_dir) else None
+    rec = _campaign_recorder(args, "simulate")
+    result = api_simulate(args.config, args.workload, engine=args.engine,
+                          warmup_fraction=args.warmup, recorder=rec,
+                          cores=args.cores, ops=args.ops, seed=args.seed,
+                          cache=cache)
+    baseline = api_simulate(args.baseline, args.workload, engine=args.engine,
+                            warmup_fraction=args.warmup,
+                            cores=args.cores, ops=args.ops, seed=args.seed,
+                            cache=cache)
     breakdown = result.breakdown(normalize=True)
     stats = result.aggregate()
     rows = [
@@ -457,6 +553,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if result.phase_stats:
         _out("")
         _out(format_phase_breakdown(result))
+    _write_campaign_telemetry(rec)
     return 0
 
 
@@ -472,29 +569,12 @@ def _cmd_study(args: argparse.Namespace) -> int:
 
 
 def _cmd_study_run(args: argparse.Namespace) -> int:
-    if args.all:
-        specs = DEFAULT_STUDY_REGISTRY.specs()
-    else:
-        if not args.names:
-            raise ReproError("name at least one study or pass --all "
-                             "(see 'repro study list')")
-        names = dict.fromkeys(args.names)  # dedupe, preserving order
-        specs = tuple(DEFAULT_STUDY_REGISTRY.get(name) for name in names)
-
-    cores = args.cores if args.cores is not None else (2 if args.quick else 8)
-    ops = args.ops if args.ops is not None else (400 if args.quick else 4000)
-    if args.workloads:
-        workloads = _split(args.workloads)
-    else:
-        workloads = (("apache", "barnes") if args.quick
-                     else tuple(workload_names()))
-    settings = ExperimentSettings(num_cores=cores, ops_per_thread=ops,
-                                  seeds=args.seeds, workloads=workloads)
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    specs, settings = _study_selection(args)
+    cache = _open_cli_cache(args)
 
     # One deduplicated plan covers every requested study; shared cells
     # (e.g. the sc baseline) are simulated exactly once.
-    plan = compile_plan(specs, settings)
+    plan = compile_study_plan(specs, settings)
     rec = _campaign_recorder(args, "study run")
     if rec is not None:
         rec.meta["studies"] = ",".join(spec.name for spec in specs)
@@ -517,6 +597,29 @@ def _cmd_study_run(args: argparse.Namespace) -> int:
     _info(f"[campaign] {report.describe(cache)} in {elapsed:.1f}s, "
           f"--jobs {args.jobs}")
     _write_campaign_telemetry(rec, args.out_dir)
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    specs, settings = _study_selection(args)
+    cache = _open_cli_cache(args)
+    if cache is None:
+        raise ReproError("worker coordinates through the shared cache; "
+                         "pass --cache URL (e.g. sqlite://results/queue.sqlite) "
+                         "instead of --no-cache")
+    plan = compile_study_plan(specs, settings)
+    rec = _campaign_recorder(args, "worker")
+    if rec is not None:
+        rec.meta["studies"] = ",".join(spec.name for spec in specs)
+    worker = QueueWorker(plan, cache, worker_id=args.worker_id,
+                         engine=args.engine, lease_ttl=args.lease_ttl,
+                         poll_interval=args.poll_interval,
+                         max_wait=args.max_wait, recorder=rec)
+    _info(f"[worker {worker.worker_id}] draining {plan.describe()} "
+          f"via {cache.describe()}")
+    report = worker.drain()
+    _out(f"[worker {worker.worker_id}] {report.describe()}")
+    _write_campaign_telemetry(rec)
     return 0
 
 
@@ -546,7 +649,7 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
     settings = ExperimentSettings(num_cores=cores, ops_per_thread=ops,
                                   seeds=(args.seed,), workloads=(args.name,),
                                   warmup_fraction=args.warmup)
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    cache = _open_cli_cache(args)
     rec = _campaign_recorder(args, "scenario run")
     executor = CampaignExecutor(settings, jobs=args.jobs, cache=cache,
                                 engine=args.engine, recorder=rec)
@@ -581,7 +684,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     cores = args.cores if args.cores is not None else 8
     settings = ExperimentSettings(num_cores=cores, ops_per_thread=ops,
                                   seeds=args.seeds, workloads=workloads)
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    cache = _open_cli_cache(args)
     rec = _campaign_recorder(args, f"figure {args.number}")
     runner = ExperimentRunner(settings, jobs=args.jobs, cache=cache,
                               engine=args.engine, recorder=rec)
@@ -611,7 +714,7 @@ def _cmd_figure_scaling(args: argparse.Namespace) -> int:
     settings = ExperimentSettings(num_cores=max(core_counts),
                                   ops_per_thread=ops, seeds=args.seeds,
                                   workloads=scenarios)
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    cache = _open_cli_cache(args)
     rec = _campaign_recorder(args, "figure scaling")
     result = run_scaling(settings, core_counts=core_counts,
                          scenarios=scenarios, jobs=args.jobs, cache=cache,
@@ -634,7 +737,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     settings = ExperimentSettings(num_cores=cores, ops_per_thread=ops,
                                   seeds=seeds, workloads=workloads,
                                   warmup_fraction=args.warmup)
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    cache = _open_cli_cache(args)
     rec = _campaign_recorder(args, "sweep")
     executor = CampaignExecutor(settings, jobs=args.jobs, cache=cache,
                                 engine=args.engine, recorder=rec)
@@ -741,6 +844,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure": _cmd_figure,
         "study": _cmd_study,
         "sweep": _cmd_sweep,
+        "worker": _cmd_worker,
         "workloads": _cmd_workloads,
         "scenario": _cmd_scenario,
         "profile": _cmd_profile,

@@ -156,6 +156,7 @@ class ExperimentRunner:
             report.simulated = tally.simulated
             report.cache_hits = tally.cache_hits
             report.cache_stats = tally.cache_stats
+            report.backend_stats = tally.backend_stats
         self.last_report = report
         return [self._results[(job.config_name, job.workload, job.seed)]
                 for job in jobs]

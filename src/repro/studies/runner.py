@@ -19,7 +19,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Mapping, Optional, Sequence, TYPE_CHECKING, Union
 
-from ..campaign.cache import CacheStats, ResultCache
+from ..campaign.cache import ResultCache
 from ..campaign.executor import CampaignReport
 from ..campaign.registry import ConfigFactory, ConfigRegistry, DEFAULT_REGISTRY
 from ..engine.results import RunResult
@@ -117,18 +117,7 @@ class StudyRunner:
         for num_cores, group in groups.items():
             runner = self.runner_for(num_cores)
             runner.run_jobs([cell.job() for cell in group])
-            tally = runner.last_report
-            total.total += tally.total
-            total.simulated += tally.simulated
-            total.cache_hits += tally.cache_hits
-            total.deduplicated += tally.deduplicated
-            if tally.cache_stats is not None:
-                base = total.cache_stats
-                total.cache_stats = tally.cache_stats if base is None \
-                    else CacheStats(
-                        hits=base.hits + tally.cache_stats.hits,
-                        misses=base.misses + tally.cache_stats.misses,
-                        stores=base.stores + tally.cache_stats.stores)
+            total.merge(runner.last_report)
         return total
 
 

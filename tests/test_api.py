@@ -1,0 +1,189 @@
+"""The public API facade and the unified campaign CLI flags."""
+
+import json
+
+import pytest
+
+import repro
+import repro.api
+from repro import (
+    ConsistencyModel,
+    PlanExecution,
+    build_trace,
+    execute_plan,
+    open_cache,
+    run_study,
+    simulate,
+    small_config,
+)
+from repro.campaign import ResultCache, ShardedBackend, SqliteBackend
+from repro.cli import main
+from repro.errors import ReproError
+from repro.experiments.common import ExperimentSettings
+
+QUICK = ExperimentSettings.quick(num_cores=2, ops_per_thread=200,
+                                 workloads=("apache",))
+
+
+class TestFacadeSurface:
+    def test_all_exports_resolve(self):
+        for name in repro.api.__all__:
+            assert getattr(repro.api, name) is getattr(repro, name)
+
+    def test_blessed_entry_points_exported(self):
+        assert {"simulate", "run_study", "execute_plan",
+                "open_cache"} <= set(repro.api.__all__)
+        assert set(repro.api.__all__) <= set(repro.__all__)
+
+
+class TestOpenCache:
+    def test_none_is_default_directory_cache(self):
+        cache = open_cache()
+        assert isinstance(cache, ResultCache)
+        assert cache.describe() == "dir:results/cache"
+
+    def test_url_and_path_forms(self, tmp_path):
+        assert open_cache(str(tmp_path / "c")).describe() == \
+            f"dir:{tmp_path}/c"
+        assert open_cache(f"sqlite://{tmp_path}/c.sqlite").describe() == \
+            f"sqlite:{tmp_path}/c.sqlite"
+        assert open_cache(
+            f"sqlite://{tmp_path}/c.sqlite?shards=2").describe() == \
+            "sharded[2]"
+
+    def test_passthrough(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        assert open_cache(cache) is cache
+        backend = SqliteBackend(tmp_path / "c.sqlite")
+        wrapped = open_cache(backend)
+        assert isinstance(wrapped, ResultCache)
+        assert wrapped.backend is backend
+
+
+class TestSimulate:
+    def test_trace_mode_matches_engine_simulate(self):
+        from repro.engine.simulator import simulate as engine_simulate
+
+        trace = build_trace("apache", num_threads=4, ops_per_thread=200,
+                            seed=1)
+        config = small_config(ConsistencyModel.SC)
+        assert simulate(config, trace).to_dict() == \
+            engine_simulate(config, trace).to_dict()
+
+    def test_name_mode_is_deterministic(self):
+        first = simulate("sc", "apache", cores=2, ops=200, seed=1)
+        again = simulate("sc", "apache", cores=2, ops=200, seed=1)
+        assert first.to_dict() == again.to_dict()
+
+    def test_config_name_with_prebuilt_trace(self):
+        trace = build_trace("apache", num_threads=2, ops_per_thread=200,
+                            seed=1)
+        result = simulate("sc", trace)
+        assert result.to_dict() == simulate("sc", trace).to_dict()
+
+    def test_scenario_names_accepted(self):
+        result = simulate("sc", "false-sharing-storm", cores=2, ops=200)
+        assert result.cycles_per_core() > 0
+
+    def test_cached_call_round_trips(self, tmp_path):
+        cache = open_cache(f"sqlite://{tmp_path}/c.sqlite")
+        cold = simulate("sc", "apache", cores=2, ops=200, seed=1,
+                        cache=cache)
+        warm = simulate("sc", "apache", cores=2, ops=200, seed=1,
+                        cache=cache)
+        assert cache.stats.hits == 1 and cache.stats.stores == 1
+        assert cold.to_dict() == warm.to_dict()
+        uncached = simulate("sc", "apache", cores=2, ops=200, seed=1)
+        assert warm.to_dict() == uncached.to_dict()
+
+
+class TestRunStudyAndExecutePlan:
+    def test_execute_plan_matches_run_study(self, tmp_path):
+        direct = run_study("figure1", QUICK,
+                           cache=str(tmp_path / "cache-a"))
+        execution = execute_plan("figure1", QUICK,
+                                 cache=str(tmp_path / "cache-b"))
+        assert isinstance(execution, PlanExecution)
+        assert execution.names() == ("figure1",)
+        assert execution.result("figure1").format() == direct.format()
+
+    def test_execute_plan_report_and_memoized_results(self, tmp_path):
+        execution = execute_plan(["figure1"], QUICK,
+                                 cache=str(tmp_path / "cache"))
+        assert execution.report.simulated == len(execution.plan.unique_cells)
+        assert execution.result("figure1") is execution.result("figure1")
+        assert "figure1" in execution.results()
+        assert "unique jobs" in execution.describe()
+
+    def test_execute_plan_deduplicates_across_studies(self, tmp_path):
+        execution = execute_plan(["figure8", "figure9"], QUICK,
+                                 cache=str(tmp_path / "cache"))
+        assert execution.plan.deduplicated > 0
+        assert execution.report.simulated == len(execution.plan.unique_cells)
+
+
+class TestUnifiedCliFlags:
+    CAMPAIGN_COMMANDS = (
+        ["simulate", "--cores", "2", "--ops", "200"],
+        ["figure", "8", "--cores", "2", "--ops", "200"],
+        ["sweep", "--quick"],
+        ["study", "run", "figure1", "--quick"],
+        ["scenario", "run", "false-sharing-storm", "--small"],
+        ["worker", "figure1", "--quick"],
+    )
+
+    def test_every_campaign_command_accepts_the_shared_flags(self, capsys):
+        """The parent parser gives each subcommand the identical set."""
+        from repro.cli import _build_parser
+
+        parser = _build_parser()
+        for argv in self.CAMPAIGN_COMMANDS:
+            args = parser.parse_args(argv + ["--jobs", "2", "--no-cache",
+                                             "--engine", "fast",
+                                             "--telemetry"])
+            assert args.jobs == 2 and args.no_cache and args.telemetry
+            assert args.cache is None and args.cache_dir is None
+
+    def test_cache_url_flag_sqlite(self, tmp_path, capsys):
+        url = f"sqlite://{tmp_path}/c.sqlite"
+        assert main(["sweep", "--quick", "--cache", url]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "--quick", "--cache", url]) == 0
+        out = capsys.readouterr().out
+        assert "0 simulated, 2 cache hits" in out
+        assert f"sqlite:{tmp_path}/c.sqlite" in out
+
+    def test_cache_dir_flag_is_a_deprecated_alias(self, tmp_path, capsys):
+        path = str(tmp_path / "cache")
+        assert main(["sweep", "--quick", "--cache-dir", path]) == 0
+        out = capsys.readouterr().out
+        assert "--cache-dir is deprecated" in out
+        assert main(["sweep", "--quick", "--cache", path]) == 0
+        out = capsys.readouterr().out
+        assert "0 simulated, 2 cache hits" in out
+
+    def test_cache_and_cache_dir_together_rejected(self, tmp_path):
+        assert main(["sweep", "--quick",
+                     "--cache", str(tmp_path / "a"),
+                     "--cache-dir", str(tmp_path / "b")]) == 2
+
+    def test_worker_requires_a_cache(self):
+        assert main(["worker", "figure1", "--quick", "--no-cache"]) == 2
+
+    def test_worker_then_study_run_is_fully_cached(self, tmp_path, capsys):
+        url = f"sqlite://{tmp_path}/queue.sqlite"
+        assert main(["worker", "figure1", "--quick", "--cache", url,
+                     "--worker-id", "w1"]) == 0
+        out = capsys.readouterr().out
+        assert "[worker w1]" in out
+        assert main(["study", "run", "figure1", "--quick", "--cache", url,
+                     "--out-dir", str(tmp_path / "out")]) == 0
+        out = capsys.readouterr().out
+        assert "0 simulated, 6 cache hits" in out
+
+    def test_sharded_cache_reports_per_backend_stats(self, tmp_path, capsys):
+        url = f"dir://{tmp_path}/cache?shards=2"
+        assert main(["sweep", "--quick", "--cache", url]) == 0
+        out = capsys.readouterr().out
+        assert "sharded[2]" in out
+        assert "shard0" in out and "shard1" in out

@@ -75,6 +75,18 @@ class TestBenchReport:
             assert width["speedup"] > 0
         assert batch["studies_cold_seconds"] > 0
 
+    def test_distributed_section_partitions_and_matches(self, report):
+        """Schema v6: 1-vs-2-worker queue drains over one sqlite backend."""
+        distributed = report["distributed"]
+        assert distributed["study"] == "figure8"
+        assert distributed["cells"] > 0
+        assert distributed["one_worker_simulated"] == distributed["cells"]
+        assert sum(distributed["two_worker_simulated"]) == distributed["cells"]
+        assert distributed["identical"], "drains must be byte-identical"
+        assert distributed["one_worker_seconds"] > 0
+        assert distributed["two_worker_seconds"] > 0
+        assert "distributed figure8" in format_bench_report(report)
+
     def test_telemetry_section_timed(self, report):
         """Schema v5: disabled-recorder overhead is measured and exported."""
         telemetry = report["telemetry"]
@@ -149,6 +161,28 @@ class TestBaselineCheck:
         fresh["batch"]["widths"][0]["identical"] = False
         failures = check_against_baseline(fresh, copy.deepcopy(report))
         assert any("byte-identical" in failure for failure in failures)
+
+    def test_distributed_identity_mismatch_is_a_failure(self, report):
+        fresh = copy.deepcopy(report)
+        fresh["distributed"]["identical"] = False
+        failures = check_against_baseline(fresh, copy.deepcopy(report))
+        assert any("distributed" in failure and "byte-identical" in failure
+                   for failure in failures)
+
+    def test_distributed_partition_violation_is_a_failure(self, report):
+        """A cell simulated by both workers means the leases failed."""
+        fresh = copy.deepcopy(report)
+        fresh["distributed"]["two_worker_simulated"] = [
+            fresh["distributed"]["cells"], 1]
+        failures = check_against_baseline(fresh, copy.deepcopy(report))
+        assert any("partition" in failure for failure in failures)
+
+    def test_missing_distributed_section_is_a_failure(self, report):
+        fresh = copy.deepcopy(report)
+        del fresh["distributed"]
+        failures = check_against_baseline(fresh, copy.deepcopy(report))
+        assert any("distributed section missing" in failure
+                   for failure in failures)
 
     def test_telemetry_overhead_gate(self, report):
         """A disabled recorder costing >2% of throughput fails the check."""
