@@ -32,7 +32,17 @@ timing (the minimum is robust against scheduler noise):
   :data:`BATCH_WIDTHS` under both ``fast`` and ``batch`` engines (byte
   identity re-asserted on every pair), plus the all-studies plan
   executed cold under ``engine="batch"`` -- the hostile direction, where
-  the adaptive opt-out must keep batch within noise of fast.
+  the per-reason decline cooldowns must keep batch within noise of fast.
+
+* **batch_multicore** -- the batch tier's coherence-epoch path: one
+  contended-but-winnable 4-core ``sc`` cell (:data:`BATCH_MC_WORKLOAD`)
+  timed under ``fast`` and ``batch`` with byte identity asserted, plus
+  the per-reason ``batch.decline.*`` / ``batch.optout.*`` counters and
+  bulk-retired op count from a recorded (untimed) batch run.  The
+  speedup is gated within the fresh report at
+  :data:`BATCH_MC_SPEEDUP_FLOOR` -- a ratio of two timings from the same
+  process, so it survives slow CI machines that absolute ops/sec gates
+  would trip on.
 
 * **distributed** -- the work-queue tier: one study plan drained through
   a shared sqlite backend by one worker process, then by two cooperating
@@ -51,10 +61,11 @@ timing (the minimum is robust against scheduler noise):
   by :func:`check_against_baseline` at ``telemetry_tolerance`` (2% by
   default); the traced numbers are informative only.
 
-Output schema (``BENCH_kernel.json``, version 6; v5 lacked the
-``distributed`` section, v4 lacked ``telemetry``, v3 lacked ``batch``
-and the ``batch_ops_per_thread`` preset field, v2 lacked ``studies``,
-v1 also lacked ``geometries`` and ``geometry_cores``)::
+Output schema (``BENCH_kernel.json``, version 7; v6 lacked the
+``batch_multicore`` section, v5 lacked ``distributed``, v4 lacked
+``telemetry``, v3 lacked ``batch`` and the ``batch_ops_per_thread``
+preset field, v2 lacked ``studies``, v1 also lacked ``geometries`` and
+``geometry_cores``)::
 
     {
       "schema": 5,
@@ -77,6 +88,13 @@ v1 also lacked ``geometries`` and ``geometry_cores``)::
                             "batch_seconds", "batch_ops_per_sec",
                             "speedup"}],
                 "studies_cold_seconds"},
+      "batch_multicore": {"workload", "config", "num_cores",
+                          "ops_per_thread", "total_ops", "identical",
+                          "fast_seconds", "fast_ops_per_sec",
+                          "batch_seconds", "batch_ops_per_sec",
+                          "speedup", "bulk_retired_ops",
+                          "declines": {reason: count},
+                          "optouts": {reason: count}},
       "distributed": {"study", "cells", "one_worker_seconds",
                       "two_worker_seconds", "speedup", "identical",
                       "one_worker_simulated", "two_worker_simulated"},
@@ -110,7 +128,7 @@ from ..workloads.registry import build_trace
 from ..workloads.spec import WorkloadSpec
 
 #: bump on any change to the report layout so stale baselines are rejected.
-BENCH_SCHEMA_VERSION = 6
+BENCH_SCHEMA_VERSION = 7
 
 #: study drained by the distributed section (six configs, one workload).
 DISTRIBUTED_STUDY = "figure8"
@@ -137,6 +155,35 @@ BATCH_WORKLOAD = WorkloadSpec(
     sync_interval=1_000_000.0, critical_section_len=1.0,
     num_locks=4, blocks_per_lock=1, lock_affinity=1.0,
     private_blocks=192, shared_blocks=256, shared_fraction=0.02,
+    locality=0.995, reuse_window=64,
+    store_burst_prob=0.0, migratory_fraction=0.0,
+    lockfree_atomic_prob=0.0,
+)
+
+#: cores of the multicore batch showcase cell, independent of the preset's
+#: kernel-section core count so small and default presets exercise the
+#: same cross-core epoch geometry.
+BATCH_MC_CORES = 4
+
+#: minimum fast/batch speedup the multicore cell must show.  Gated within
+#: the fresh report (a ratio of two same-process timings), so it holds on
+#: slow CI machines where absolute ops/sec floors would be meaningless.
+BATCH_MC_SPEEDUP_FLOOR = 1.5
+
+#: The multicore batch showcase: the quiescent kernel shape plus a small
+#: genuinely shared region, so the four cores exchange real coherence
+#: traffic (the epoch tracker's horizon declines are non-zero) while each
+#: still runs long cache-resident stretches between conflicts --
+#: contended enough to exercise the cross-core machinery, winnable enough
+#: that bulk retirement dominates.
+BATCH_MC_WORKLOAD = WorkloadSpec(
+    name="quiescent-mc",
+    description="contended-but-winnable multicore cell (epoch showcase)",
+    load_fraction=0.45, store_fraction=0.15, compute_fraction=0.40,
+    compute_run_mean=2.0,
+    sync_interval=1_000_000.0, critical_section_len=1.0,
+    num_locks=4, blocks_per_lock=1, lock_affinity=1.0,
+    private_blocks=192, shared_blocks=64, shared_fraction=0.02,
     locality=0.995, reuse_window=64,
     store_burst_prob=0.0, migratory_fraction=0.0,
     lockfree_atomic_prob=0.0,
@@ -300,8 +347,9 @@ def _bench_batch(preset: BenchPreset) -> Dict[str, Any]:
     dominate, so this is where the vectorized tier's speedup lives (its
     hostile direction -- dense multicore event traffic -- is covered by
     ``studies_cold_seconds``, which runs the whole heterogeneous study
-    plan under ``engine="batch"``; the adaptive opt-out keeps that within
-    noise of fast).  Byte identity is asserted on every timed pair, so the
+    plan under ``engine="batch"``; the per-reason decline cooldowns keep
+    that within noise of fast).  Byte identity is asserted on every timed
+    pair, so the
     bench doubles as an end-to-end differential check at real scale.
     """
     ops = preset.batch_ops_per_thread
@@ -366,6 +414,64 @@ def _bench_batch(preset: BenchPreset) -> Dict[str, Any]:
         "ops_per_thread": ops,
         "widths": widths,
         "studies_cold_seconds": studies_cold,
+    }
+
+
+def _bench_batch_multicore(preset: BenchPreset) -> Dict[str, Any]:
+    """Time the coherence-epoch path on one contended 4-core cell.
+
+    Fast-vs-batch best-of pair on :data:`BATCH_MC_WORKLOAD` at
+    :data:`BATCH_MC_CORES` cores, byte identity asserted on the timed
+    results.  A separate untimed batch run with a live recorder collects
+    the per-reason ``batch.decline.*`` / ``batch.optout.*`` counters and
+    the bulk-retired op count, so a regression that silently stops
+    multicore bulk retirement (speedup drifting toward 1x) is
+    diagnosable straight from the report.
+    """
+    ops = preset.batch_ops_per_thread
+    settings = ExperimentSettings(
+        num_cores=BATCH_MC_CORES, ops_per_thread=ops, seeds=(preset.seed,),
+        warmup_fraction=0.2)
+    config = make_config("sc", settings)
+    trace = build_trace(BATCH_MC_WORKLOAD, num_threads=BATCH_MC_CORES,
+                        ops_per_thread=ops, seed=preset.seed)
+    for thread in range(BATCH_MC_CORES):
+        # Warm the compile/array caches (see _bench_batch).
+        trace[thread].compiled().arrays()
+    fast_best, fast_result = _best_of(
+        preset.repeats,
+        lambda: simulate(config, trace, warmup_fraction=0.2, engine="fast"))
+    batch_best, batch_result = _best_of(
+        preset.repeats,
+        lambda: simulate(config, trace, warmup_fraction=0.2, engine="batch"))
+    # Counters from one dedicated recorded run: the timed runs stay
+    # recorder-free, and best-of repeats would sum counters across runs.
+    recorder = TraceRecorder()
+    simulate(config, trace, warmup_fraction=0.2, engine="batch",
+             recorder=recorder)
+    declines = {name.split(".", 2)[2]: count
+                for name, count in sorted(recorder.counters.items())
+                if name.startswith("batch.decline.")}
+    optouts = {name.split(".", 2)[2]: count
+               for name, count in sorted(recorder.counters.items())
+               if name.startswith("batch.optout.")}
+    total_ops = trace.total_ops()
+    return {
+        "workload": BATCH_MC_WORKLOAD.name,
+        "config": "sc",
+        "num_cores": BATCH_MC_CORES,
+        "ops_per_thread": ops,
+        "total_ops": total_ops,
+        "identical": fast_result.to_json() == batch_result.to_json(),
+        "fast_seconds": fast_best,
+        "fast_ops_per_sec": total_ops / fast_best if fast_best > 0 else 0.0,
+        "batch_seconds": batch_best,
+        "batch_ops_per_sec": total_ops / batch_best
+        if batch_best > 0 else 0.0,
+        "speedup": fast_best / batch_best if batch_best > 0 else 0.0,
+        "bulk_retired_ops": recorder.counters.get("batch.retired", 0),
+        "declines": declines,
+        "optouts": optouts,
     }
 
 
@@ -546,6 +652,7 @@ def run_bench(preset: BenchPreset, cache_dir: Path) -> Dict[str, Any]:
         "geometries": _bench_geometries(preset),
         "studies": _bench_studies(preset, settings, cache_dir),
         "batch": _bench_batch(preset),
+        "batch_multicore": _bench_batch_multicore(preset),
         "distributed": _bench_distributed(preset, settings, cache_dir),
         "telemetry": _bench_telemetry(preset, settings),
     }
@@ -601,6 +708,17 @@ def format_bench_report(report: Dict[str, Any]) -> str:
         lines.append(
             f"  batch all-studies cold: "
             f"{batch['studies_cold_seconds'] * 1000:.1f} ms")
+    multicore = report.get("batch_multicore")
+    if multicore:
+        check = "" if multicore["identical"] else "  IDENTITY MISMATCH"
+        declined = sum(multicore["declines"].values())
+        lines.append(
+            f"  batch {multicore['num_cores']}-core {multicore['workload']}: "
+            f"{multicore['batch_ops_per_sec']:>12,.0f} ops/s vs fast "
+            f"{multicore['fast_ops_per_sec']:>12,.0f} "
+            f"({multicore['speedup']:.2f}x, "
+            f"{multicore['bulk_retired_ops']} bulk ops, "
+            f"{declined} declines){check}")
     distributed = report.get("distributed")
     if distributed:
         check = "" if distributed["identical"] else "  IDENTITY MISMATCH"
@@ -655,6 +773,12 @@ def format_baseline_delta(report: Dict[str, Any],
             rows.append((f"batch width {width['width']}",
                          width["batch_ops_per_sec"],
                          base["batch_ops_per_sec"]))
+    multicore = report.get("batch_multicore")
+    base_multicore = baseline.get("batch_multicore")
+    if multicore and base_multicore:
+        rows.append((f"batch {multicore['num_cores']}-core",
+                     multicore["batch_ops_per_sec"],
+                     base_multicore["batch_ops_per_sec"]))
     telemetry = report.get("telemetry")
     base_telemetry = baseline.get("telemetry")
     if telemetry and base_telemetry:
@@ -753,6 +877,28 @@ def check_against_baseline(report: Dict[str, Any], baseline: Dict[str, Any],
                 f"{width['batch_ops_per_sec']:,.0f} ops/s is below "
                 f"{floor:,.0f} (baseline {base['batch_ops_per_sec']:,.0f} "
                 f"- {tolerance:.0%} tolerance)")
+    multicore = report.get("batch_multicore")
+    if multicore is None:
+        failures.append("batch_multicore section missing from report")
+    else:
+        # Gated within the fresh report: identity is determinism, and the
+        # fast/batch speedup is a same-process timing ratio, so both gates
+        # are meaningful regardless of how slow the machine is.
+        if not multicore["identical"]:
+            failures.append(
+                f"batch_multicore: batch and fast results on "
+                f"{multicore['workload']} at {multicore['num_cores']} cores "
+                f"are not byte-identical")
+        if multicore["speedup"] < BATCH_MC_SPEEDUP_FLOOR:
+            failures.append(
+                f"batch_multicore: speedup {multicore['speedup']:.2f}x is "
+                f"below the {BATCH_MC_SPEEDUP_FLOOR:.1f}x floor (fast "
+                f"{multicore['fast_ops_per_sec']:,.0f} ops/s vs batch "
+                f"{multicore['batch_ops_per_sec']:,.0f})")
+        if multicore["bulk_retired_ops"] <= 0:
+            failures.append(
+                "batch_multicore: no ops were bulk-retired (the epoch "
+                "path never fired)")
     distributed = report.get("distributed")
     if distributed is None:
         failures.append("distributed section missing from report")

@@ -312,19 +312,29 @@ class CampaignExecutor:
         Results come back in ``missing`` order, and because runs in a lane
         share only immutable tables, they are byte-identical to per-cell
         simulation at any lane width and under any grouping.
+
+        Lanes are dispatched widest first.  The pool hands one lane per
+        worker and wide lanes (especially multicore ones) dominate the
+        wall clock, so a wide lane scheduled last would leave the other
+        workers idle for its whole duration.  Ordering only changes
+        scheduling: results are still written back by position.
         """
-        lanes: Dict[str, List[int]] = {}
+        grouped: Dict[str, List[int]] = {}
         for pos, job in enumerate(missing):
-            lanes.setdefault(job.config_name, []).append(pos)
+            grouped.setdefault(job.config_name, []).append(pos)
+        # Stable sort: equal-width lanes keep first-appearance order, so
+        # dispatch order is deterministic for a given job list.
+        lanes: List[List[int]] = sorted(
+            grouped.values(), key=len, reverse=True)
         rec = self.recorder
         if rec is not None:
             rec.count("campaign.lanes", len(lanes))
-            for members in lanes.values():
+            for members in lanes:
                 rec.observe("campaign.lane_width", len(members))
         results: List[Optional[RunResult]] = [None] * len(missing)
         if workers > 1 and len(lanes) > 1:
             payloads: List[_LanePayload] = []
-            for members in lanes.values():
+            for members in lanes:
                 config = self.config_for(missing[members[0]])
                 cells = [(resolve_spec(missing[pos].workload,
                                        self.settings.ops_per_thread),
@@ -338,7 +348,7 @@ class CampaignExecutor:
                                      chunksize=1)
                     lane_results = []
                     for members, (lane, start, end, pid) in zip(
-                            lanes.values(), timed):
+                            lanes, timed):
                         first = missing[members[0]]
                         rec.wall_span(
                             self._worker_tid(pid), "lane", start, end,
@@ -348,11 +358,11 @@ class CampaignExecutor:
                 else:
                     lane_results = pool.map(_simulate_lane, payloads,
                                             chunksize=1)
-            for members, lane in zip(lanes.values(), lane_results):
+            for members, lane in zip(lanes, lane_results):
                 for pos, result in zip(members, lane):
                     results[pos] = result
         else:
-            for members in lanes.values():
+            for members in lanes:
                 config = self.config_for(missing[members[0]])
                 traces = [self.trace_for(missing[pos].workload,
                                          missing[pos].seed,

@@ -84,6 +84,14 @@ class MemorySystem:
         #: The batch engine keeps its packed residency tables fresh with
         #: this; when unset (the default) the hook costs one None check.
         self._state_watcher = None
+        #: optional zero-argument callback fired at the start of every
+        #: coherence transaction -- the only mutator of residency,
+        #: directory sharer/owner, and eviction state (hit-path silent
+        #: E->M transitions change no residency code).  The batch
+        #: engine's epoch tracker bumps its generation counter with
+        #: this, invalidating cached cross-core horizons; when unset
+        #: (the default) the hook costs one None check per transaction.
+        self._transaction_watcher = None
         #: observability slot; same single-``if`` discipline as the state
         #: watcher.  Only the transaction engine hooks it, never the
         #: allocation-free hit fast paths.
@@ -138,6 +146,10 @@ class MemorySystem:
     def set_state_watcher(self, watcher) -> None:
         """Install the L1 state-change hook (see ``_state_watcher``)."""
         self._state_watcher = watcher
+
+    def set_transaction_watcher(self, watcher) -> None:
+        """Install the transaction-start hook (see ``_transaction_watcher``)."""
+        self._transaction_watcher = watcher
 
     def _block(self, addr: int) -> int:
         return addr & self._block_mask
@@ -253,6 +265,8 @@ class MemorySystem:
 
     def _transaction(self, core_id: int, baddr: int, kind: TransactionKind,
                      now: int, spec_checkpoint: Optional[int]) -> AccessOutcome:
+        if self._transaction_watcher is not None:
+            self._transaction_watcher()
         config = self._config
         home = (baddr // config.block_bytes) % self._num_nodes
         entry = self._directory.entry(baddr)

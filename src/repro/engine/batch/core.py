@@ -18,9 +18,12 @@ taken nothing but its constant-latency hit paths.  The preconditions:
   phase boundary, no inline-budget exhaustion inside the stretch;
 * the FIFO store buffer never fills inside the stretch (vectorized
   occupancy check over the stretch's store times);
-* every op but the last finishes strictly before the next pending heap
-  event -- the same exactness condition the fast kernel applies per op,
-  found here with one ``searchsorted`` over the stretch's finish times.
+* every op but the last *starts* strictly before the truncating horizon:
+  the next pending heap event -- the same exactness condition the fast
+  kernel applies per op -- or, in a multicore lane, the coherence-epoch
+  bound when that lies further out (no other core can generate coherence
+  traffic before it; see :mod:`.epochs`), found with one ``searchsorted``
+  over the stretch's finish times.
 
 Everything the exact kernel would have mutated is then committed in
 closed form: counter deltas from prefix-sum differences, the event
@@ -44,6 +47,7 @@ from ...cpu.core import _MAX_INLINE_BATCH, Core
 from ...cpu.store_buffer import StoreBufferEntry
 from ...errors import SimulationError
 from ...trace.trace import Trace
+from .epochs import EpochTracker
 from .profile import RowProfile
 
 #: Below this many ops, fixed numpy overhead beats the saved per-op work;
@@ -52,14 +56,20 @@ _MIN_STRETCH = 4
 #: Cap on ops examined per bulk attempt; longer runs simply take another
 #: bulk step on the next loop iteration.
 _MAX_STRETCH = 512
-#: Adaptive opt-out: after this many bulk attempts, a core whose mean
-#: retired-ops-per-attempt is below :data:`_MIN_GAIN` stops attempting
-#: and runs the plain fast kernel.  Cores in lockstep leapfrog (dense
-#: multicore event traffic) have tiny quiescent windows, and the attempt
-#: overhead would otherwise swamp the savings.  Purely local and
-#: deterministic, so results stay independent of lane width and order.
-_ADAPT_ATTEMPTS = 128
-_MIN_GAIN = 6
+#: Per-reason decline cooldowns.  The first decline of a reason (since
+#: the last retired stretch) costs nothing beyond its chain-exact pin;
+#: consecutive declines of the same reason then back off exponentially
+#: from :data:`_COOLDOWN_BASE` ops up to :data:`_COOLDOWN_CAP`, and any
+#: retired stretch resets every reason.  A hostile phase (dense
+#: multicore event traffic, a non-resident working set) therefore costs
+#: a logarithmic number of probe attempts instead of either unbounded
+#: re-probing or -- as the old global adaptive opt-out did --
+#: permanently disabling batching for the whole run.  Purely per-core
+#: and deterministic, so results stay independent of lane width and
+#: order; cooldowns only skip attempts, never change what a successful
+#: attempt retires.
+_COOLDOWN_BASE = 16
+_COOLDOWN_CAP = 4096
 
 
 class BatchCore(Core):
@@ -68,13 +78,41 @@ class BatchCore(Core):
     def __init__(self, core_id: int, trace: Trace, config: SystemConfig,
                  mem, events, warmup_ops: int = 0,
                  phase_bounds: Optional[Sequence[int]] = None,
-                 profile: Optional[RowProfile] = None) -> None:
+                 profile: Optional[RowProfile] = None,
+                 epochs: Optional[EpochTracker] = None) -> None:
         super().__init__(core_id, trace, config, mem, events,
                          warmup_ops=warmup_ops, phase_bounds=phase_bounds,
                          batching=True)
         self._bp = profile
-        self._bulk_tries = 0
-        self._bulk_gain = 0
+        #: cross-core epoch tracker; ``None`` in single-core lanes, where
+        #: the heap head alone already bounds every stretch exactly.
+        self._epochs = epochs
+        #: time of this core's most recently scheduled step event.  Other
+        #: cores' horizon scans read it while this core is at rest.
+        self._pending_at = 0
+        #: per-chain memo of the epoch horizon: (generation, bound).
+        self._chain_horizon: Optional[tuple] = None
+        #: persistent cooldown floor (trace index) maintained by _decline.
+        self._cool = -1
+        #: per-reason exponential cooldown spans (see _COOLDOWN_BASE).
+        self._backoff: dict = {}
+
+    def start(self, at: int = 0) -> None:
+        super().start(at=at)
+        bp = self._bp
+        if bp is not None \
+                and bp.token != self.trace.compiled().arrays().token:
+            # The trace was rebuilt (mutated) after the lane stack was
+            # built: the static tables may silently disagree with the
+            # new compiled arrays even at an unchanged length, so run
+            # purely exact.
+            self._bp = None
+            if self.obs is not None:
+                self.obs.count("batch.optout.stale-profile")
+
+    def _schedule_step(self, time: int) -> None:
+        self._pending_at = time
+        self.events.schedule_step(time, self, self._generation)
 
     def _step_fast(self, now: int, generation: int) -> None:
         """The fast kernel loop with a bulk attempt before each exact op."""
@@ -88,7 +126,6 @@ class BatchCore(Core):
         trace_len = self._trace_len
         stats = self.stats
         budget = _MAX_INLINE_BATCH
-        cool = -1
         bp = self._bp
         obs = self.obs
         if bp is not None and bp.length != trace_len:
@@ -97,6 +134,11 @@ class BatchCore(Core):
             bp = self._bp = None
             if obs is not None:
                 obs.count("batch.optout.stale-profile")
+        # No bulk attempt before this trace index: seeded with the
+        # persistent per-reason cooldown floor, raised by the chain-exact
+        # pins declined attempts return.
+        cool = self._cool
+        self._chain_horizon = None
         while True:
             if not self._warmup_done or self._next_bound < len(self._inner_bounds):
                 self._pre_op()
@@ -117,11 +159,8 @@ class BatchCore(Core):
                 return
             if bp is not None and budget >= _MIN_STRETCH and index >= cool:
                 bulk = self._bulk_advance(bp, index, now, budget)
-                tries = self._bulk_tries + 1
-                self._bulk_tries = tries
                 if bulk.__class__ is tuple:
                     count, last, prev_last, head = bulk
-                    self._bulk_gain += count
                     budget -= count
                     limit = events.run_until
                     if budget > 0 and (head is None or head > last) \
@@ -130,26 +169,22 @@ class BatchCore(Core):
                         now = last
                         continue
                     # The final op of the stretch hit the same boundary the
-                    # exact loop would have: account the first count-1 ops
+                    # exact loop would have (an epoch-extended stretch always
+                    # ends here: its last finish reaches the real heap head,
+                    # so pending events on other cores fire before this
+                    # core's next step): account the first count-1 ops
                     # inline and schedule the next step, exactly as the
                     # per-op path does after processing the final op.
                     events.note_inline_bulk(prev_last, count - 1)
                     self._schedule_step(last)
                     return
                 else:
-                    # Declined: the returned index is how far the decline
-                    # reason is pinned for the rest of this inline chain
-                    # (the heap head and residency only change across
-                    # chain boundaries), so skip futile re-attempts.
+                    # Declined: the returned index pins re-attempts both
+                    # within this chain (exact reasoning -- the heap head
+                    # and residency only change across chain boundaries)
+                    # and across chains (the per-reason cooldown floor
+                    # maintained by _decline).
                     cool = bulk
-                    if tries >= _ADAPT_ATTEMPTS \
-                            and self._bulk_gain < tries * _MIN_GAIN:
-                        bp = self._bp = None
-                        if obs is not None:
-                            obs.count("batch.optout.adaptive")
-                            obs.sim_instant(
-                                self.core_id, "batch.optout", now,
-                                {"tries": tries, "gain": self._bulk_gain})
             finish = process_op(ops[index], now)
             if finish < now:
                 raise SimulationError(
@@ -179,9 +214,11 @@ class BatchCore(Core):
 
         Returns ``(count, last_finish, prev_finish, head)`` after applying
         all side effects.  On decline it returns an *int*: the first trace
-        index at which re-attempting could succeed within the current
-        inline chain (the caller processes ops through the exact kernel
-        and skips bulk attempts until then).
+        index at which re-attempting is allowed -- the chain-exact pin
+        (the first index at which success is possible within the current
+        inline chain) raised to the per-reason cooldown floor (the caller
+        processes ops through the exact kernel and skips bulk attempts
+        until then).
         """
         obs = self.obs
         # Static caps: next atomic (or padded trace end), warmup boundary,
@@ -196,9 +233,7 @@ class BatchCore(Core):
                 end = bound
         count = end - k
         if count < _MIN_STRETCH:
-            if obs is not None:
-                obs.count("batch.decline.short")
-            return end
+            return self._decline("short", end, k)
         if count > budget:
             count = budget
         if count > _MAX_STRETCH:
@@ -222,9 +257,7 @@ class BatchCore(Core):
             if not bp.fifo:
                 # Coalescing entries coalesce with same-block stores; wait
                 # for the buffer to empty rather than model that.
-                if obs is not None:
-                    obs.count("batch.decline.coalescing-sb")
-                return k + 1
+                return self._decline("coalescing-sb", k + 1, k)
             next_obs = int(bp.next_obs[k])
             if next_obs < k + count:
                 t_obs = int(b0[next_obs]) + base
@@ -232,9 +265,7 @@ class BatchCore(Core):
                     if bp.is_store[next_obs]:
                         count = next_obs - k
                         if count < _MIN_STRETCH:
-                            if obs is not None:
-                                obs.count("batch.decline.stale-sb")
-                            return k + 1
+                            return self._decline("stale-sb", k + 1, k)
                     else:
                         delta = stale - t_obs
                         obs_rel = next_obs - k
@@ -249,20 +280,33 @@ class BatchCore(Core):
             head = None
         limit = events.run_until
 
+        # The truncating horizon: the next pending heap event, relaxed to
+        # the coherence-epoch bound when that lies further out -- no other
+        # core of the run can generate coherence traffic before it, so
+        # ops *starting* before it commute with the pending steps (see
+        # :mod:`.epochs`).  The caller still routes through the heap
+        # whenever the stretch's last finish reaches the *real* head, so
+        # cross-core event order past the epoch stays exact.
+        horizon = head
+        if head is not None and self._epochs is not None:
+            epoch = self._chain_epoch()
+            if epoch > head:
+                horizon = epoch
+
         # Cheap pre-cap before any gather: ``B0 + base`` is a lower bound
         # on every finish time (stalls and ``delta`` only add), so a
         # searchsorted over the static prefix bounds the feasible count.
-        if head is not None:
+        if horizon is not None:
             cap = int(b0[k + 1:k + count + 1].searchsorted(
-                head - base, side="left")) + 1
+                horizon - base, side="left")) + 1
             if cap < count:
                 count = cap
             if count < _MIN_STRETCH:
-                # The head is fixed for the rest of this inline chain, and
-                # finish times only grow as the chain advances toward it.
-                if obs is not None:
-                    obs.count("batch.decline.head-cap")
-                return bp.length
+                # The head is fixed for the rest of this inline chain,
+                # finish times only grow as the chain advances toward it,
+                # and this core's own transactions can only shrink the
+                # epoch bound (they never add residency to other cores).
+                return self._decline("head-cap", bp.length, k)
 
         # Residency: every load hits, every store has write permission.
         # Only memory ops carry a requirement, so the gather runs over the
@@ -280,9 +324,7 @@ class BatchCore(Core):
                 if count < _MIN_STRETCH:
                     # Residency only changes across chain boundaries (our
                     # own hits preserve state; misses break the chain).
-                    if obs is not None:
-                        obs.count("batch.decline.residency")
-                    return bad + 1
+                    return self._decline("residency", bad + 1, k)
                 j = k + count
                 hi = int(mem_pos.searchsorted(j))
 
@@ -312,11 +354,13 @@ class BatchCore(Core):
             return value
 
         last = _finish(count - 1)
-        if (head is not None and last >= head) \
+        if (horizon is not None and last >= horizon) \
                 or (limit is not None and last > limit):
-            # Heap-head / run-horizon caps: ops before the last must
-            # finish strictly before the next pending event and within
-            # the horizon (identical to the per-op continue condition).
+            # Horizon / run-limit caps: ops before the last must finish
+            # strictly before the truncating horizon (the heap head, or
+            # the epoch bound past it) and within the run limit --
+            # identical to the per-op continue condition when the horizon
+            # is the heap head, and sound past it by the epoch argument.
             if has_stalls:
                 finishes = s0[k + 1:j + 1] - stall_ref
                 np.maximum(finishes, 0, out=finishes)
@@ -326,16 +370,14 @@ class BatchCore(Core):
                 finishes = b0[k + 1:j + 1] + base
             if delta:
                 finishes[obs_rel:] += delta
-            if head is not None and finishes[count - 1] >= head:
-                count = int(finishes.searchsorted(head, side="left")) + 1
+            if horizon is not None and finishes[count - 1] >= horizon:
+                count = int(finishes.searchsorted(horizon, side="left")) + 1
             if limit is not None and finishes[count - 1] > limit:
                 cap = int(finishes.searchsorted(limit, side="right")) + 1
                 if cap < count:
                     count = cap
             if count < _MIN_STRETCH:
-                if obs is not None:
-                    obs.count("batch.decline.horizon")
-                return bp.length
+                return self._decline("horizon", bp.length, k)
             j = k + count
             hi = int(mem_pos.searchsorted(j))
             last = int(finishes[count - 1])
@@ -376,23 +418,28 @@ class BatchCore(Core):
             cache = mem.l1(self.core_id)
             counter = cache._access_counter
             cache._access_counter = counter + n_mem
-            last_touch: dict = {}
-            for pos, dense in enumerate(bp.mem_ids[lo:hi].tolist()):
-                last_touch[dense] = pos
             refs = bp.refs
             addr_list = bp.addr_list
             lookup = cache.lookup
             counter += 1
-            for dense, pos in last_touch.items():
+            # Last touch per distinct block in one vectorized pass (the
+            # LRU stamp only the final access to each block survives):
+            # the first occurrence in the reversed window is the last in
+            # the forward window, so one ``np.unique`` replaces the
+            # per-op dict probe loop.
+            rev_ids = bp.mem_ids[lo:hi][::-1]
+            uniq_ids, rev_first = np.unique(rev_ids, return_index=True)
+            tail = counter + n_mem - 1
+            for dense, rev in zip(uniq_ids.tolist(), rev_first.tolist()):
                 block = refs.get(dense)
                 if block is None:
                     block = refs[dense] = lookup(addr_list[dense], touch=False)
-                block.last_use = counter + pos
+                block.last_use = tail - rev
             if n_stores:
                 store_pos = bp.store_pos
                 lo_s = int(store_pos.searchsorted(k))
                 hi_s = lo_s + n_stores
-                for dense in set(bp.store_ids[lo_s:hi_s].tolist()):
+                for dense in np.unique(bp.store_ids[lo_s:hi_s]).tolist():
                     block = refs.get(dense)
                     if block is None:
                         block = refs[dense] = lookup(addr_list[dense],
@@ -462,8 +509,54 @@ class BatchCore(Core):
                 if peak > sb.peak_occupancy:
                     sb.peak_occupancy = peak
 
+        if self._backoff:
+            # A retired stretch pays for its attempt: drop the per-reason
+            # cooldowns so batching recovers right after a hostile phase.
+            self._backoff.clear()
+            self._cool = -1
         if obs is not None:
             obs.count("batch.retired", count)
             obs.observe("batch.stretch_len", count)
         self._index = j
         return count, last, prev_last, head
+
+    def _decline(self, reason: str, chain_pin: int, k: int) -> int:
+        """Account a declined bulk attempt; returns the re-attempt pin.
+
+        ``chain_pin`` is the exact first trace index at which a
+        re-attempt could succeed within the current inline chain.  On
+        top of it, consecutive declines of the same ``reason`` back off
+        exponentially (reset by any retired stretch); the cooldown floor
+        persists across chains via ``self._cool``, so a hostile phase is
+        probed a logarithmic number of times instead of once per chain.
+        """
+        if self.obs is not None:
+            self.obs.count("batch.decline." + reason)
+        backoff = self._backoff
+        span = backoff.get(reason, 0)
+        backoff[reason] = _COOLDOWN_BASE if span == 0 \
+            else min(span * 2, _COOLDOWN_CAP)
+        if span:
+            until = k + span
+            if until > self._cool:
+                self._cool = until
+            if until > chain_pin:
+                return until
+        return chain_pin
+
+    def _chain_epoch(self) -> int:
+        """The cross-core epoch horizon, memoized per inline chain.
+
+        Other cores are at rest while this core's chain runs, so the
+        horizon can only move when this core itself performs a coherence
+        transaction between bulk attempts -- which bumps the tracker's
+        generation and invalidates the memo.
+        """
+        memo = self._chain_horizon
+        epochs = self._epochs
+        generation = epochs.generation
+        if memo is not None and memo[0] == generation:
+            return memo[1]
+        epoch = epochs.horizon(self)
+        self._chain_horizon = (generation, epoch)
+        return epoch

@@ -46,7 +46,7 @@ from ...trace.trace import MultiThreadedTrace
 class RowProfile:
     """One (run, core) stream's static tables (views into the lane stack)."""
 
-    __slots__ = ("length", "hl", "fifo", "has_stalls", "sb_capacity",
+    __slots__ = ("length", "token", "hl", "fifo", "has_stalls", "sb_capacity",
                  "ids", "need", "is_store", "is_mem", "word_addr",
                  "B0", "S0", "cum_busy", "cum_other", "cum_loads",
                  "cum_stores", "cum_fences", "cum_mem",
@@ -56,6 +56,7 @@ class RowProfile:
 
     def __init__(self, lane: "LaneProfiles", row: int, length: int) -> None:
         self.length = length
+        self.token = lane.tokens[row]
         self.hl = lane.hl
         self.fifo = lane.fifo
         self.has_stalls = lane.has_stalls
@@ -103,6 +104,11 @@ class LaneProfiles:
         self.has_stalls = self.fifo and (rules.load_requires_drain
                                          or rules.fence_requires_drain)
         self._lengths: List[int] = []
+        #: per-row :attr:`TraceArrays.token` of the compiled arrays the
+        #: tables were built from, so cores can detect a rebuilt (mutated)
+        #: trace even when the new length matches the old.
+        self.tokens: List[int] = []
+        self._row_cache: Dict[int, RowProfile] = {}
         self._build(config, traces)
 
     # -- construction ------------------------------------------------------
@@ -114,7 +120,9 @@ class LaneProfiles:
         arrays = []
         for trace in traces:
             for core_id in range(num_cores):
-                arrays.append(trace[core_id].compiled().arrays())
+                ta = trace[core_id].compiled().arrays()
+                arrays.append(ta)
+                self.tokens.append(ta.token)
         rows = len(arrays)
         lmax = max((ta.length for ta in arrays), default=0)
         lmax = max(lmax, 1)
@@ -227,7 +235,11 @@ class LaneProfiles:
 
     def row_profile(self, run: int, core_id: int) -> RowProfile:
         row = run * self.num_cores + core_id
-        return RowProfile(self, row, self._lengths[row])
+        cached = self._row_cache.get(row)
+        if cached is None:
+            cached = self._row_cache[row] = RowProfile(
+                self, row, self._lengths[row])
+        return cached
 
     def make_watcher(self, run: int):
         """A per-run memory-system hook keeping residency rows fresh."""

@@ -140,6 +140,7 @@ def build_system(config: SystemConfig, trace: MultiThreadedTrace,
         # Imported here: the batch package's lane bridge imports this
         # module back, so a module-scope import would be circular.
         from .batch.core import BatchCore
+        from .batch.epochs import EpochTracker
         from .batch.profile import build_lane_profiles
         if lane is not None:
             profiles, run_index = lane
@@ -148,8 +149,15 @@ def build_system(config: SystemConfig, trace: MultiThreadedTrace,
             run_index = 0
     events = EventQueue()
     memory = MemorySystem(config, fast_path=fast, recorder=rec)
+    epochs = None
     if profiles is not None:
         memory.set_state_watcher(profiles.make_watcher(run_index))
+        if config.num_cores > 1:
+            # Multicore bulk advance: one epoch tracker per run computes
+            # cross-core quiescence horizons from the residency mirrors;
+            # every directory transaction invalidates its cached bounds.
+            epochs = EpochTracker()
+            memory.set_transaction_watcher(epochs.on_transaction)
     cores: List[Core] = []
     phase_bounds = trace.phase_bounds
     for core_id in range(config.num_cores):
@@ -159,7 +167,10 @@ def build_system(config: SystemConfig, trace: MultiThreadedTrace,
             core: Core = BatchCore(
                 core_id, thread_trace, config, memory, events,
                 warmup_ops=warmup_ops, phase_bounds=phase_bounds,
-                profile=profiles.row_profile(run_index, core_id))
+                profile=profiles.row_profile(run_index, core_id),
+                epochs=epochs)
+            if epochs is not None:
+                epochs.register(core)
         else:
             core = Core(core_id, thread_trace, config, memory, events,
                         warmup_ops=warmup_ops, phase_bounds=phase_bounds,

@@ -23,11 +23,15 @@ to the exact operation it re-executes.
 
 from __future__ import annotations
 
+import itertools
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from .ops import MemOp, OpKind
+
+#: Monotone id source for :attr:`TraceArrays.token` (process-wide).
+_ARRAY_TOKENS = itertools.count(1)
 
 #: Integer opcodes, stable across the project (serialization-independent).
 OP_LOAD = 0
@@ -57,10 +61,16 @@ class TraceArrays:
     """
 
     __slots__ = ("length", "kinds", "addresses", "sizes", "cycles",
-                 "instr_weights", "is_memory")
+                 "instr_weights", "is_memory", "token")
 
     def __init__(self, compiled: "CompiledTrace") -> None:
         self.length = compiled.length
+        #: unique build id.  Batch lane profiles pin the token of every
+        #: ``TraceArrays`` they consumed; a core whose trace re-compiled
+        #: (any mutation discards the compiled form, and with it these
+        #: arrays) sees a token mismatch and opts out of bulk retirement
+        #: even when the mutated trace happens to keep the same length.
+        self.token = next(_ARRAY_TOKENS)
         self.kinds = np.asarray(compiled.kinds, dtype=np.int8)
         self.addresses = np.asarray(compiled.addresses, dtype=np.int64)
         self.sizes = np.asarray(compiled.sizes, dtype=np.int64)

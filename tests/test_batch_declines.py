@@ -1,0 +1,167 @@
+"""Per-reason decline coverage for the batch engine's ``_bulk_advance``.
+
+Every decline path returns control to the exact kernel, so these tests
+cannot (and do not) check results -- byte identity with the fast engine
+is asserted alongside each trigger instead.  What they pin down is that
+each reason actually fires on the scenario built to provoke it, and that
+its ``batch.decline.<reason>`` counter names stay stable: the bench
+report, the profile report, and the cooldown bookkeeping all key on
+them.
+"""
+
+from repro.engine.simulator import simulate
+from repro.engine.system import build_system
+from repro.engine.batch.core import _COOLDOWN_BASE, _COOLDOWN_CAP
+from repro.experiments.common import ExperimentSettings, make_config
+from repro.obs.recorder import TraceRecorder
+from repro.trace.ops import atomic, compute, load, store
+from repro.trace.trace import MultiThreadedTrace, Trace
+from repro.workloads.registry import build_trace
+from repro.workloads.spec import WorkloadSpec
+
+#: 4-core contended-but-winnable shape (mirrors the bench's multicore
+#: showcase): enough cross-core traffic that the heap head and the epoch
+#: bound truncate stretches, enough quiescence that attempts keep coming.
+_MC_SPEC = WorkloadSpec(
+    name="decline-mc",
+    load_fraction=0.45, store_fraction=0.15, compute_fraction=0.40,
+    compute_run_mean=2.0,
+    sync_interval=1_000_000.0, critical_section_len=1.0,
+    num_locks=4, blocks_per_lock=1, lock_affinity=1.0,
+    private_blocks=192, shared_blocks=64, shared_fraction=0.02,
+    locality=0.995, reuse_window=64,
+    store_burst_prob=0.0, migratory_fraction=0.0,
+    lockfree_atomic_prob=0.0,
+)
+
+
+def _config(name, cores, ops):
+    return make_config(name, ExperimentSettings(
+        num_cores=cores, ops_per_thread=ops, seeds=(3,),
+        warmup_fraction=0.0))
+
+
+def _run(config_name, trace):
+    """Simulate under batch with a recorder; assert identity with fast."""
+    cores = trace.num_threads
+    config = _config(config_name, cores, trace.total_ops() // cores)
+    recorder = TraceRecorder()
+    batch = simulate(config, trace, engine="batch", recorder=recorder)
+    fast = simulate(config, trace, engine="fast")
+    assert batch.to_json() == fast.to_json()
+    return recorder.counters
+
+
+def _single(ops):
+    return MultiThreadedTrace([Trace(ops)], name="crafted")
+
+
+class TestDeclineReasons:
+    def test_short_on_dense_atomics(self):
+        """Atomics every couple of ops leave no room for _MIN_STRETCH."""
+        ops = [load(0), load(0), atomic(0)] * 40
+        counters = _run("sc", _single(ops))
+        assert counters["batch.decline.short"] > 0
+
+    def test_residency_on_cold_streaming_loads(self):
+        """Never-repeated addresses keep the residency gather failing."""
+        ops = [load(index * 64) for index in range(256)]
+        counters = _run("sc", _single(ops))
+        assert counters["batch.decline.residency"] > 0
+
+    def test_stale_sb_on_back_to_back_stores(self):
+        """A store close behind an in-flight store declines (FIFO order)."""
+        ops = []
+        for _ in range(30):
+            ops += [store(0), compute(1), store(0)] + [compute(1)] * 12
+        counters = _run("sc", _single(ops))
+        assert counters["batch.decline.stale-sb"] > 0
+
+    def test_coalescing_sb_waits_for_empty_buffer(self):
+        """A coalescing buffer with live entries is declined outright."""
+        ops = []
+        for _ in range(30):
+            ops += [store(0)] + [compute(1)] * 12
+        counters = _run("rmo", _single(ops))
+        assert counters["batch.decline.coalescing-sb"] > 0
+
+    def test_head_cap_on_contended_multicore(self):
+        """Another core's pending step truncates the B0 pre-cap."""
+        trace = build_trace(_MC_SPEC, num_threads=4, ops_per_thread=4000,
+                            seed=3)
+        counters = _run("sc", trace)
+        assert counters["batch.decline.head-cap"] > 0
+
+    def test_horizon_on_contended_multicore(self):
+        """Real finish times (stalls included) cross the epoch horizon."""
+        trace = build_trace(_MC_SPEC, num_threads=4, ops_per_thread=4000,
+                            seed=3)
+        counters = _run("sc", trace)
+        assert counters["batch.decline.horizon"] > 0
+
+    def test_multicore_still_bulk_retires(self):
+        """The declines above must not starve the epoch path entirely."""
+        trace = build_trace(_MC_SPEC, num_threads=4, ops_per_thread=4000,
+                            seed=3)
+        counters = _run("sc", trace)
+        assert counters["batch.retired"] > 0
+
+
+class TestDeclineCooldowns:
+    def _core(self):
+        trace = build_trace("apache", num_threads=1, ops_per_thread=40,
+                            seed=3)
+        system = build_system(_config("sc", 1, 40), trace, engine="batch")
+        return system.cores[0]
+
+    def test_first_decline_is_free(self):
+        """One decline costs nothing beyond its chain-exact pin."""
+        core = self._core()
+        assert core._decline("short", 7, 5) == 7
+        assert core._cool == -1
+
+    def test_consecutive_declines_back_off_exponentially(self):
+        core = self._core()
+        core._decline("short", 7, 0)
+        assert core._decline("short", 7, 100) == 100 + _COOLDOWN_BASE
+        assert core._decline("short", 7, 200) == 200 + 2 * _COOLDOWN_BASE
+        assert core._cool == 200 + 2 * _COOLDOWN_BASE
+
+    def test_backoff_is_capped(self):
+        core = self._core()
+        for _ in range(32):
+            core._decline("short", 0, 0)
+        assert core._backoff["short"] == _COOLDOWN_CAP
+
+    def test_reasons_back_off_independently(self):
+        core = self._core()
+        core._decline("short", 0, 0)
+        core._decline("short", 0, 0)
+        # A different reason's first decline is still free.
+        assert core._decline("residency", 3, 1) == 3
+
+    def test_chain_pin_wins_when_further_out(self):
+        core = self._core()
+        core._decline("short", 0, 0)
+        assert core._decline("short", 500, 10) == 500
+        # The cooldown floor was still raised for cross-chain skipping.
+        assert core._cool == 10 + _COOLDOWN_BASE
+
+
+class TestStaleProfileOptOut:
+    def test_recompiled_trace_opts_out_on_token(self):
+        """A same-length recompile must drop the profile, not trust it."""
+        trace = build_trace("apache", num_threads=1, ops_per_thread=40,
+                            seed=3)
+        recorder = TraceRecorder()
+        system = build_system(_config("sc", 1, 40), trace, engine="batch",
+                              recorder=recorder)
+        core = system.cores[0]
+        assert core._bp is not None
+        # Force a rebuild of the compiled arrays at unchanged length --
+        # the shape of hazard the per-step length check cannot see.
+        core.trace._compiled = None
+        core.trace.compiled().arrays()
+        system.start()
+        assert core._bp is None
+        assert recorder.counters["batch.optout.stale-profile"] == 1

@@ -75,6 +75,23 @@ class TestBenchReport:
             assert width["speedup"] > 0
         assert batch["studies_cold_seconds"] > 0
 
+    def test_batch_multicore_section_timed_and_identical(self, report):
+        """Schema v7: the coherence-epoch path is timed on a 4-core cell."""
+        multicore = report["batch_multicore"]
+        assert multicore["config"] == "sc"
+        assert multicore["num_cores"] == 4
+        assert multicore["ops_per_thread"] == _PRESET.batch_ops_per_thread
+        assert multicore["total_ops"] == 4 * _PRESET.batch_ops_per_thread
+        assert multicore["identical"], "batch results must match fast"
+        assert multicore["fast_ops_per_sec"] > 0
+        assert multicore["batch_ops_per_sec"] > 0
+        assert multicore["speedup"] > 0
+        # Bulk retirement must actually fire across cores, and the
+        # per-reason decline counters must be surfaced for diagnosis.
+        assert multicore["bulk_retired_ops"] > 0
+        assert isinstance(multicore["declines"], dict)
+        assert isinstance(multicore["optouts"], dict)
+
     def test_distributed_section_partitions_and_matches(self, report):
         """Schema v6: 1-vs-2-worker queue drains over one sqlite backend."""
         distributed = report["distributed"]
@@ -162,6 +179,33 @@ class TestBaselineCheck:
         failures = check_against_baseline(fresh, copy.deepcopy(report))
         assert any("byte-identical" in failure for failure in failures)
 
+    def test_batch_multicore_identity_mismatch_is_a_failure(self, report):
+        fresh = copy.deepcopy(report)
+        fresh["batch_multicore"]["identical"] = False
+        failures = check_against_baseline(fresh, copy.deepcopy(report))
+        assert any("batch_multicore" in failure and "byte-identical" in failure
+                   for failure in failures)
+
+    def test_batch_multicore_speedup_floor(self, report):
+        """A multicore speedup below 1.5x fails the check within-report."""
+        fresh = copy.deepcopy(report)
+        fresh["batch_multicore"]["speedup"] = 1.1
+        failures = check_against_baseline(fresh, copy.deepcopy(report))
+        assert any("below the 1.5x floor" in failure for failure in failures)
+
+    def test_batch_multicore_requires_bulk_retirement(self, report):
+        fresh = copy.deepcopy(report)
+        fresh["batch_multicore"]["bulk_retired_ops"] = 0
+        failures = check_against_baseline(fresh, copy.deepcopy(report))
+        assert any("never fired" in failure for failure in failures)
+
+    def test_missing_batch_multicore_section_is_a_failure(self, report):
+        fresh = copy.deepcopy(report)
+        del fresh["batch_multicore"]
+        failures = check_against_baseline(fresh, copy.deepcopy(report))
+        assert any("batch_multicore section missing" in failure
+                   for failure in failures)
+
     def test_distributed_identity_mismatch_is_a_failure(self, report):
         fresh = copy.deepcopy(report)
         fresh["distributed"]["identical"] = False
@@ -207,8 +251,8 @@ class TestBaselineDelta:
     def test_delta_table_covers_every_section(self, report):
         text = format_baseline_delta(report, copy.deepcopy(report))
         for label in ("kernel sc", "scenario splice", "geometry",
-                      "batch width", "telemetry null recorder",
-                      "telemetry overhead"):
+                      "batch width", "batch 4-core",
+                      "telemetry null recorder", "telemetry overhead"):
             assert label in text
         assert "+0.0%" in text  # identical reports: all deltas are zero
 

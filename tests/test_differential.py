@@ -261,6 +261,73 @@ class TestBatchConventionalModels:
         assert fast.to_json() == batch.to_json()
 
 
+@pytest.mark.parametrize("cores", (2, 4))
+@pytest.mark.parametrize("config_name", CONTROLLER_CONFIGS)
+@pytest.mark.parametrize("workload", tuple(scenario_names()))
+class TestMulticoreBatchByteIdentical:
+    """The coherence-epoch path: every scenario, both machine widths.
+
+    Scenarios are the contended corner (phase-spliced storms, handoffs,
+    migratory sharing), so this is where an unsound epoch bound -- one
+    that let a stretch run past another core's first coherence traffic --
+    would actually desynchronize the engines.
+    """
+
+    def test_batch_vs_fast_multicore(self, cores, config_name, workload):
+        trace = build_trace(workload, num_threads=cores,
+                            ops_per_thread=_OPS, seed=3)
+        settings = ExperimentSettings(num_cores=cores, ops_per_thread=_OPS,
+                                      seeds=(3,), warmup_fraction=0.0)
+        config = make_config(config_name, settings)
+        fast, batch = _batch_vs_fast(config, trace)
+        assert fast.to_json() == batch.to_json()
+
+
+class TestMirrorInvalidation:
+    def test_mid_run_directory_invalidation_of_mirrored_line(self):
+        """A sharer's store must invalidate the numpy residency mirror.
+
+        Core 0 takes line 0 SHARED and then spins on it in long quiescent
+        stretches, so the batch engine's residency mirror holds read
+        permission for the line.  Core 1 wakes later and stores to the
+        same line: the directory invalidates core 0's copy mid-run, the
+        state watcher must zero the mirror, and the epoch tracker's
+        generation bump must discard any cached horizon -- otherwise core
+        0's next stretch would bulk-retire loads the exact kernel serves
+        as misses.
+        """
+        from repro.obs.recorder import TraceRecorder
+        from repro.trace.ops import compute, load, store
+        from repro.trace.trace import MultiThreadedTrace, Trace
+
+        spin = [load(0), compute(1)] * 120
+        # The intruder reads the line first so both cores hold it SHARED
+        # (a lone reader is tracked as an EXCLUSIVE owner, whose recall
+        # is a different directory path); its store then fans out a true
+        # sharer invalidation to the spinning core.
+        intruder = ([compute(40)] * 3 + [load(0)] + [compute(40)] * 3
+                    + [store(0)] + [compute(1)] * 20)
+        trace = MultiThreadedTrace(
+            [Trace(spin), Trace(intruder + [compute(1)] *
+                                (len(spin) - len(intruder)))],
+            name="mirror-invalidation")
+        settings = ExperimentSettings(num_cores=2,
+                                      ops_per_thread=len(spin),
+                                      seeds=(3,), warmup_fraction=0.0)
+        config = make_config("sc", settings)
+        recorder = TraceRecorder()
+        batch = simulate(config, trace, engine="batch", recorder=recorder)
+        fast = simulate(config, trace, engine="fast")
+        assert batch.to_json() == fast.to_json()
+        # The test is vacuous unless the mirror was really exercised on
+        # both sides of the invalidation: stretches retired in bulk, the
+        # directory invalidated the sharer's copy mid-run, and the
+        # downgraded mirror then declined at least one spin stretch.
+        assert recorder.counters["batch.retired"] > 0
+        assert recorder.counters["coherence.invalidations"] > 0
+        assert recorder.counters["batch.decline.residency"] > 0
+
+
 @pytest.mark.parametrize("width", (1, 3, 8))
 class TestLaneWidthIndependence:
     """A lane's width is a performance knob, never a results dimension."""
